@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark both *times* an experiment and *asserts the paper's shape*
+(who wins, which anomaly appears, where the crossover lies), so running
+``pytest benchmarks/ --benchmark-only`` doubles as a reproduction check.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def bench(benchmark):
+    """A pedantic benchmark wrapper with bounded rounds.
+
+    Simulation experiments run in O(0.1–5 s); three rounds keep the total
+    benchmark wall-time reasonable while still producing timing stats.
+    """
+
+    def run(func, *args, bench_rounds=3, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=bench_rounds, iterations=1
+        )
+
+    return run

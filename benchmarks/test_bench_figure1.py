@@ -1,0 +1,36 @@
+"""Benchmark E1 — Figure 1: temporary operation reordering.
+
+Paper row reproduced: weak ``append(x) → aax`` vs strong
+``duplicate() → axax`` (and the ``(→ ax)`` strong-append variant), with
+convergence of both replicas to ``axax``.
+"""
+
+from repro.analysis.experiments.figure1 import run_figure1
+from repro.core.cluster import MODIFIED, ORIGINAL
+
+
+def test_figure1_original(bench):
+    result = bench(run_figure1, protocol=ORIGINAL)
+    assert result.responses == {
+        "append_a": "a",
+        "append_x": "aax",
+        "duplicate": "axax",
+    }
+    assert result.final_value == "axax"
+    assert result.converged
+    assert result.reordering_witnesses >= 1
+    assert not result.bec_weak.ok
+    assert result.seq_strong.ok
+
+
+def test_figure1_strong_append_variant(bench):
+    result = bench(run_figure1, protocol=ORIGINAL, strong_append=True)
+    assert result.responses["append_x"] == "ax"
+    assert result.bec_weak.ok
+
+
+def test_figure1_modified_protocol(bench):
+    result = bench(run_figure1, protocol=MODIFIED)
+    assert result.responses["duplicate"] == "axax"
+    assert result.fec_weak.ok
+    assert result.seq_strong.ok

@@ -1,0 +1,25 @@
+"""Benchmark E2 — Figure 2: circular causality.
+
+Paper row reproduced: ``append(x) → ayx`` and ``append(y) → axy`` — each
+return value claims the other operation came first — under the original
+protocol; the modified protocol (Algorithm 2) is cycle-free on the same
+schedule.
+"""
+
+from repro.analysis.experiments.figure2 import run_figure2
+from repro.core.cluster import MODIFIED, ORIGINAL
+
+
+def test_figure2_original_has_cycle(bench):
+    result = bench(run_figure2, protocol=ORIGINAL)
+    assert result.responses["append_x"] == "ayx"
+    assert result.responses["append_y"] == "axy"
+    assert result.circular_causality
+    assert result.converged
+
+
+def test_figure2_modified_is_cycle_free(bench):
+    result = bench(run_figure2, protocol=MODIFIED)
+    assert not result.circular_causality
+    assert result.fec_weak.ok
+    assert result.converged

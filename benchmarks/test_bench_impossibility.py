@@ -1,0 +1,35 @@
+"""Benchmark E4 — Theorem 1, both halves.
+
+- mechanised: exhaustive search over all abstract executions of the proof's
+  four-event history finds no ``BEC(weak) ∧ Seq(strong)`` extension, while
+  an ``FEC(weak) ∧ Seq(strong)`` witness exists;
+- live: a real Bayou cluster driven through the proof's schedule produces
+  exactly that history, violating BEC while satisfying FEC ∧ Seq.
+"""
+
+from repro.analysis.experiments.theorem1 import run_theorem1_live
+from repro.framework.impossibility import (
+    build_fec_witness,
+    prove_impossibility,
+)
+
+
+def test_mechanised_impossibility(bench):
+    outcome = bench(prove_impossibility)
+    assert not outcome.satisfiable
+    assert outcome.arbitrations_tried == 24
+
+
+def test_fec_witness_construction(bench):
+    witness = bench(build_fec_witness)
+    assert witness.ok
+
+
+def test_live_theorem1_schedule(bench):
+    result = bench(run_theorem1_live, bench_rounds=2)
+    assert result.responses["r"] == "ab"
+    assert result.responses["c"] == "bc"
+    assert not result.bec_weak.ok
+    assert result.fec_weak.ok
+    assert result.seq_strong.ok
+    assert not result.search.satisfiable

@@ -1,0 +1,46 @@
+"""Benchmark E7 — the guarantee matrix (Sections 2.2 and 6, executable).
+
+Reproduced qualitative rows:
+
+====================  ==========  ========  ==========  ==========
+system                reordering  circular  weak avail  strong ops
+====================  ==========  ========  ==========  ==========
+Bayou (original)      yes         yes       yes         yes
+Bayou (modified)      yes         no        yes         yes
+EC store (LWW)        no          no        yes         no
+SMR                   no          no        no          yes
+GSP                   no          no        yes         no
+====================  ==========  ========  ==========  ==========
+"""
+
+from repro.analysis.experiments.matrix import render_matrix, run_matrix
+
+
+def test_guarantee_matrix(bench):
+    rows = bench(run_matrix, bench_rounds=1)
+    print()
+    print(render_matrix(rows))
+    by_name = {row.system: row for row in rows}
+
+    original = by_name["Bayou (original)"]
+    assert original.temporary_reordering and original.circular_causality
+    assert original.weak_available_under_partition and original.strong_ops
+    assert original.bec_weak is False and original.seq_strong is True
+
+    modified = by_name["Bayou (modified)"]
+    assert modified.temporary_reordering       # Theorem 1: unavoidable
+    assert not modified.circular_causality     # Algorithm 2's fix
+    assert modified.seq_strong is True
+
+    ec = by_name["EC store (LWW)"]
+    assert not ec.temporary_reordering and not ec.strong_ops
+    assert ec.bec_weak is True
+
+    smr = by_name["SMR"]
+    assert not smr.weak_available_under_partition
+    assert smr.seq_strong is True
+
+    gsp = by_name["GSP"]
+    assert not gsp.temporary_reordering
+    assert gsp.weak_available_under_partition
+    assert gsp.bec_weak is True and not gsp.strong_ops

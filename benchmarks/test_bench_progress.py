@@ -1,0 +1,29 @@
+"""Benchmark E3 — Section 2.3: no bounded wait-freedom.
+
+Series reproduced: the slow replica's per-invocation response time under
+saturation (growing without bound for the original protocol, flat zero for
+the modified one), and the rollback storm induced by the slowed-clock
+countermeasure.
+"""
+
+from repro.analysis.experiments.progress import run_clock_slowdown, run_slow_replica
+from repro.core.cluster import MODIFIED, ORIGINAL
+
+
+def test_slow_replica_original_latency_grows(bench):
+    result = bench(run_slow_replica, protocol=ORIGINAL)
+    assert result.growth > 5.0
+    assert result.latencies[-1] > 3 * result.latencies[0]
+
+
+def test_slow_replica_modified_is_bounded(bench):
+    result = bench(run_slow_replica, protocol=MODIFIED)
+    assert result.growth == 0.0
+    assert max(result.latencies) == 0.0
+
+
+def test_clock_slowdown_rollback_storm(bench):
+    slowed = bench(run_clock_slowdown, slow_rate=0.4, bench_rounds=2)
+    baseline = run_clock_slowdown(slow_rate=1.0)
+    assert slowed.rollbacks_fast_replicas > 3 * baseline.rollbacks_fast_replicas
+    assert slowed.late_vs_early_ratio > 2.0

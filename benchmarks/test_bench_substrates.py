@@ -1,0 +1,81 @@
+"""Substrate micro-benchmarks: simulator, broadcast engines, checkers.
+
+Not a paper artifact per se, but the ablation data DESIGN.md calls for:
+how expensive are the moving parts this reproduction is built on?
+"""
+
+from repro.analysis.workload import PROFILES, RandomWorkload
+from repro.core.cluster import BayouCluster, MODIFIED
+from repro.core.config import BayouConfig
+from repro.datatypes.counter import Counter
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_fec, check_seq
+from repro.framework.history import STRONG, WEAK
+from repro.sim.kernel import Simulator
+
+
+def test_simulator_event_throughput(bench):
+    """Raw kernel speed: schedule + execute 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [50_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.executed_events
+
+    executed = bench(run)
+    assert executed == 50_001
+
+
+def test_bayou_cluster_oplog_throughput(bench):
+    """End-to-end protocol cost: 150 mixed ops over 3 replicas."""
+
+    def run():
+        config = BayouConfig(n_replicas=3, exec_delay=0.001, message_delay=0.1)
+        cluster = BayouCluster(Counter(), config, protocol=MODIFIED)
+        workload = RandomWorkload(
+            cluster,
+            PROFILES["counter"](strong_probability=0.2),
+            ops_per_session=50,
+            think_time=0.05,
+            seed=9,
+        )
+        workload.start()
+        cluster.run_until_quiescent()
+        assert cluster.converged()
+        return cluster
+
+    cluster = bench(run)
+    assert cluster.converged()
+    assert len(cluster.replicas[0].committed) > 0
+
+
+def test_checker_cost_on_medium_history(bench):
+    """Building (vis, ar, par) and checking FEC ∧ Seq on ~45 events."""
+    config = BayouConfig(n_replicas=3, exec_delay=0.01, message_delay=0.5)
+    cluster = BayouCluster(Counter(), config, protocol=MODIFIED)
+    workload = RandomWorkload(
+        cluster, PROFILES["counter"](), ops_per_session=14, seed=4
+    )
+    workload.start()
+    cluster.run_until_quiescent()
+    cluster.add_horizon_probes(Counter.read)
+    cluster.run_until_quiescent()
+    history = cluster.build_history()
+
+    def check():
+        execution = build_abstract_execution(history)
+        return (
+            check_fec(execution, WEAK),
+            check_seq(execution, STRONG),
+        )
+
+    fec, seq = bench(check)
+    assert fec.ok and seq.ok

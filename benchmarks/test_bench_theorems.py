@@ -1,0 +1,26 @@
+"""Benchmark E5/E6 — Theorems 2 and 3 checked end-to-end.
+
+Theorem 2: random workloads on the modified protocol over every data type
+satisfy ``FEC(weak) ∧ Seq(strong)`` in stable runs.
+Theorem 3: in an asynchronous run weak operations stay FEC-correct while
+strong operations block (Seq fails), recovering after the heal.
+"""
+
+import pytest
+
+from repro.analysis.experiments.theorems import run_theorem2, run_theorem3
+
+
+@pytest.mark.parametrize("profile", ["counter", "list", "kv", "bank", "set"])
+def test_theorem2_per_datatype(bench, profile):
+    result = bench(run_theorem2, profile, bench_rounds=2)
+    assert result.theorem2_holds
+    assert result.converged
+
+
+def test_theorem3_async_run(bench):
+    result = bench(run_theorem3, bench_rounds=2)
+    assert result.pending_strong_during == 1
+    assert not result.seq_strong_during.ok
+    assert result.fec_weak_during.ok
+    assert result.seq_strong_after.ok and result.fec_weak_after.ok

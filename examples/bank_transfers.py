@@ -1,0 +1,68 @@
+"""Bank accounts: why order-sensitive operations want strong consistency.
+
+A guarded withdrawal ("give me 80 if the balance covers it") is the textbook
+non-commuting operation. Issued *weakly*, its tentative answer can be
+reversed by the final order — the client walks away believing a withdrawal
+succeeded that the final serialisation rejects (temporary operation
+reordering, Figure 1's anomaly in financial clothing). Issued *strongly*,
+the answer is computed in the committed order and is final.
+
+We measure exactly this: how many weak withdrawals returned an answer that
+differs from their value in the final order, using the library's
+``stable_vs_tentative_mismatches`` metric.
+"""
+
+from repro import BankAccounts, BayouCluster, BayouConfig, ORIGINAL
+from repro.analysis.metrics import stable_vs_tentative_mismatches
+from repro.analysis.experiments.common import tob_delay_filter
+from repro.net.faults import MessageFilter
+
+
+def run(strong_withdrawals: bool) -> None:
+    filters = MessageFilter()
+    tob_delay_filter(filters, 15.0)  # consensus is slower than gossip
+    config = BayouConfig(
+        n_replicas=2,
+        message_delay=1.0,
+        exec_delay=0.2,
+        clock_offsets={1: -0.5},
+    )
+    cluster = BayouCluster(
+        BankAccounts(), config, protocol=ORIGINAL, filters=filters
+    )
+
+    # Seed the account, replicated everywhere.
+    cluster.schedule_invoke(1.0, 0, BankAccounts.deposit("joint", 100))
+
+    # Two racing withdrawals against the same balance: only one can succeed
+    # in any serial order, but both may tentatively succeed.
+    cluster.schedule_invoke(
+        10.0, 0, BankAccounts.withdraw("joint", 80), strong=strong_withdrawals
+    )
+    cluster.schedule_invoke(
+        10.2, 1, BankAccounts.withdraw("joint", 80), strong=strong_withdrawals
+    )
+    cluster.run_until_quiescent()
+
+    history = cluster.build_history(well_formed=False)
+    label = "STRONG" if strong_withdrawals else "WEAK"
+    print(f"--- {label} withdrawals ---")
+    for event in history:
+        if event.op.name != "withdraw":
+            continue
+        outcome = "dispensed cash" if event.rval is not None else "declined"
+        print(f"  {event.eid}: withdraw(80) -> {event.rval!r:6} ({outcome})")
+    mismatches = stable_vs_tentative_mismatches(history)
+    balance = cluster.replicas[0].state.snapshot().get("bank:joint")
+    print(f"  final balance: {balance}")
+    print(f"  answers later contradicted by the final order: {mismatches}")
+    print(f"  converged: {cluster.converged()}\n")
+
+
+def main() -> None:
+    run(strong_withdrawals=False)  # both tentatively succeed: overdraft risk
+    run(strong_withdrawals=True)   # exactly one succeeds, answers are final
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Meeting-room scheduler — Bayou's original motivating application.
+
+The 1995 Bayou paper was built around a meeting-room scheduling app for
+weakly connected laptops. This example recreates it on our reproduction:
+
+- *tentative holds* are **weak** ``put_if_absent`` calls: they respond
+  immediately (even while the laptop is partitioned from the office) but
+  the answer may be reversed once the final order is established;
+- *confirmed bookings* are **strong** ``put_if_absent`` calls: the answer
+  is final, because it is computed in the TOB-committed order — exactly the
+  operation Section 1 of the PODC'19 paper says requires consensus.
+
+The scenario: Alice (on a partitioned laptop) and Bob both try to grab the
+same room. Both tentative holds say "yes" — a classic eventual-consistency
+conflict. The strong confirmations, however, give exactly one "yes".
+"""
+
+from repro import BayouCluster, BayouConfig, KVStore, MODIFIED
+from repro.net.partition import PartitionSchedule
+
+ROOM = "meeting-room-1@friday-10am"
+
+
+def main() -> None:
+    partitions = PartitionSchedule(3)
+    partitions.split(2.0, [[0], [1, 2]])   # Alice's laptop (replica 0) offline
+    partitions.heal(40.0)
+
+    # The consensus sequencer lives on the office server (replica 2), not
+    # on Alice's partitioned laptop.
+    config = BayouConfig(
+        n_replicas=3, message_delay=1.0, exec_delay=0.05, sequencer_pid=2
+    )
+    cluster = BayouCluster(
+        KVStore(), config, protocol=MODIFIED, partitions=partitions
+    )
+
+    outcomes = {}
+
+    def hold(name: str, pid: int) -> None:
+        request = cluster.invoke(pid, KVStore.put_if_absent(ROOM, name))
+        outcomes[f"{name} tentative hold"] = request
+
+    def confirm(name: str, pid: int) -> None:
+        # A strong read: the authoritative, final owner of the room.
+        request = cluster.invoke(pid, KVStore.get(ROOM), strong=True)
+        outcomes[f"{name} confirmation"] = request
+
+    # During the partition both grab the room tentatively...
+    cluster.sim.schedule_at(5.0, lambda: hold("alice", 0))
+    cluster.sim.schedule_at(6.0, lambda: hold("bob", 1))
+    # ...and both then ask for the confirmed verdict. Bob is connected to
+    # the sequencer; Alice's confirmation can only complete after the heal.
+    cluster.sim.schedule_at(8.0, lambda: confirm("bob", 1))
+    cluster.sim.schedule_at(9.0, lambda: confirm("alice", 0))
+    cluster.run_until_quiescent()
+
+    history = cluster.build_history(well_formed=False)
+    print("Tentative holds (weak, answered immediately, even offline):")
+    for label, request in outcomes.items():
+        if "hold" not in label:
+            continue
+        event = history.event(request.dot)
+        verdict = "got the room (tentatively!)" if event.rval else "room taken"
+        print(f"  {label:24s} -> {event.rval!s:5s} ({verdict})")
+
+    print("\nConfirmations (strong, final — computed in the agreed order):")
+    for label, request in outcomes.items():
+        if "confirmation" not in label:
+            continue
+        event = history.event(request.dot)
+        wait = event.return_time - event.invoke_time
+        print(
+            f"  {label:24s} -> room belongs to {event.rval!r} "
+            f"(answered after {wait:.1f}s)"
+        )
+
+    final_owner = cluster.replicas[2].state.snapshot().get(f"kv:{ROOM!r}")
+    print(f"\nFinal owner everywhere: {final_owner[1]!r}")
+    print("converged:", cluster.converged())
+    print(
+        "\nBoth tentative holds said yes (the classic offline conflict); "
+        "the strong reads agree on a single owner once consensus has "
+        "ordered the holds."
+    )
+
+
+if __name__ == "__main__":
+    main()

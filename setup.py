@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs on toolchains without wheel."""
+
+from setuptools import setup
+
+setup()

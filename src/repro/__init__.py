@@ -1,0 +1,80 @@
+"""repro — a full reproduction of "On mixing eventual and strong consistency:
+Bayou revisited" (Kokociński, Kobus, Wojciechowski; PODC 2019).
+
+Public API tour
+---------------
+Protocol::
+
+    from repro import BayouCluster, BayouConfig, RList
+
+    cluster = BayouCluster(RList(), BayouConfig(n_replicas=3))
+    cluster.invoke(0, RList.append("a"))                 # weak
+    cluster.invoke(1, RList.duplicate(), strong=True)    # strong
+    cluster.run_until_quiescent()
+
+Formal framework::
+
+    from repro import build_abstract_execution, check_bec, check_fec, check_seq
+
+    history = cluster.build_history()
+    execution = build_abstract_execution(history)
+    check_fec(execution, "weak")     # Theorem 2, checked on a real run
+    check_bec(execution, "weak")     # fails when reordering occurred
+
+Impossibility (Theorem 1)::
+
+    from repro.framework.impossibility import prove_impossibility
+    assert not prove_impossibility().satisfiable
+"""
+
+from repro.core.cluster import BayouCluster, MODIFIED, ORIGINAL
+from repro.core.client import ClientSession
+from repro.core.config import BayouConfig
+from repro.core.modified_replica import ModifiedBayouReplica
+from repro.core.replica import BayouReplica
+from repro.core.request import Dot, Req
+from repro.core.state_object import StateObject
+from repro.datatypes import (
+    BankAccounts,
+    Counter,
+    KVStore,
+    Operation,
+    Register,
+    RList,
+    SetType,
+)
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_bec, check_fec, check_seq
+from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BankAccounts",
+    "BayouCluster",
+    "BayouConfig",
+    "BayouReplica",
+    "ClientSession",
+    "Counter",
+    "Dot",
+    "History",
+    "HistoryEvent",
+    "KVStore",
+    "MODIFIED",
+    "ModifiedBayouReplica",
+    "ORIGINAL",
+    "Operation",
+    "PENDING",
+    "Register",
+    "Req",
+    "RList",
+    "STRONG",
+    "SetType",
+    "StateObject",
+    "WEAK",
+    "__version__",
+    "build_abstract_execution",
+    "check_bec",
+    "check_fec",
+    "check_seq",
+]

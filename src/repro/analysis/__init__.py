@@ -1,0 +1,34 @@
+"""Workloads, metrics and the experiment runners for every paper artifact.
+
+The experiment index (see DESIGN.md):
+
+====  ==========================  ==========================================
+id    paper artifact              module
+====  ==========================  ==========================================
+E1    Figure 1                    repro.analysis.experiments.figure1
+E2    Figure 2                    repro.analysis.experiments.figure2
+E3    Section 2.3 (progress)      repro.analysis.experiments.progress
+E4    Theorem 1                   repro.analysis.experiments.theorem1
+E5    Theorem 2                   repro.analysis.experiments.theorems
+E6    Theorem 3                   repro.analysis.experiments.theorems
+E7    guarantee matrix            repro.analysis.experiments.matrix
+E8    performance envelope        repro.analysis.experiments.performance
+====  ==========================  ==========================================
+"""
+
+from repro.analysis.metrics import (
+    LatencyStats,
+    count_reordering_witnesses,
+    count_trace_final_discords,
+)
+from repro.analysis.report import format_table
+from repro.analysis.workload import RandomWorkload, WorkloadProfile
+
+__all__ = [
+    "LatencyStats",
+    "RandomWorkload",
+    "WorkloadProfile",
+    "count_reordering_witnesses",
+    "count_trace_final_discords",
+    "format_table",
+]

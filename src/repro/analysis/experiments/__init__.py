@@ -1,0 +1,24 @@
+"""Experiment runners — one module per paper artifact (see DESIGN.md)."""
+
+from repro.analysis.experiments.figure1 import run_figure1
+from repro.analysis.experiments.figure2 import run_figure2
+from repro.analysis.experiments.matrix import run_matrix
+from repro.analysis.experiments.sessions import run_session_guarantees
+from repro.analysis.experiments.progress import (
+    run_clock_slowdown,
+    run_slow_replica,
+)
+from repro.analysis.experiments.theorem1 import run_theorem1_live
+from repro.analysis.experiments.theorems import run_theorem2, run_theorem3
+
+__all__ = [
+    "run_clock_slowdown",
+    "run_figure1",
+    "run_figure2",
+    "run_matrix",
+    "run_session_guarantees",
+    "run_slow_replica",
+    "run_theorem1_live",
+    "run_theorem2",
+    "run_theorem3",
+]

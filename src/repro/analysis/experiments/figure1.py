@@ -1,0 +1,142 @@
+"""Experiment E1 — Figure 1: temporary operation reordering.
+
+The schedule (two replicas, an initially empty replicated list):
+
+1. R0 invokes weak ``append("a")``; it commits and replicates everywhere.
+2. R0 invokes weak ``append("x")`` (timestamp 10); R1 invokes strong
+   ``duplicate()`` slightly later in real time but with a *smaller*
+   timestamp (R1's clock runs 0.5 behind), so the tentative order is
+   ``duplicate, append(x)``.
+3. R0's local execution is delayed (per-step processing cost 1.5) long
+   enough that the RB message about ``duplicate()`` arrives first, so the
+   speculative execution at R0 runs ``duplicate`` then ``append(x)`` and the
+   weak ``append(x)`` returns the tentative response **aax**.
+4. TOB (made slower than RB, as in the figure) establishes the final order
+   ``append(a), append(x), duplicate``, so the strong ``duplicate()``
+   returns **axax** — and the two clients have observed ``append(x)`` and
+   ``duplicate()`` in opposite orders.
+
+Paper-expected observables reproduced exactly:
+
+- weak ``append(x)`` → ``aax`` (paper: ``append(x) → aax``),
+- strong ``duplicate()`` → ``axax``,
+- the strong-append variant returns ``ax`` (paper: ``(→ ax)``),
+- both replicas converge to ``axax``,
+- the framework detects the anomalies: ``BEC(weak)`` fails and (because the
+  original protocol also creates circular causality here) NCC reports an
+  hb-cycle between ``append(x)`` and ``duplicate()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.analysis.experiments.common import tob_delay_filter
+from repro.analysis.metrics import (
+    count_reordering_witnesses,
+    count_trace_final_discords,
+)
+from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
+from repro.core.config import BayouConfig
+from repro.datatypes.rlist import RList
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import GuaranteeReport, check_bec, check_fec, check_seq
+from repro.framework.history import History, WEAK, STRONG
+from repro.net.faults import MessageFilter
+
+
+@dataclass
+class Figure1Result:
+    """Everything Figure 1 shows, as measured."""
+
+    protocol: str
+    strong_append: bool
+    responses: Dict[str, Any]
+    final_value: str
+    converged: bool
+    reordering_witnesses: int
+    trace_final_discords: int
+    history: History = field(repr=False, default=None)
+    bec_weak: GuaranteeReport = field(repr=False, default=None)
+    fec_weak: GuaranteeReport = field(repr=False, default=None)
+    seq_strong: GuaranteeReport = field(repr=False, default=None)
+
+
+def run_figure1(
+    *, protocol: str = ORIGINAL, strong_append: bool = False
+) -> Figure1Result:
+    """Run the Figure 1 schedule and return the measured observables."""
+    config = BayouConfig(
+        n_replicas=2,
+        exec_delay=1.5,
+        message_delay=1.0,
+        clock_offsets={1: -0.5},
+        sequencer_pid=0,
+    )
+    filters = MessageFilter()
+    tob_delay_filter(filters, 10.0)
+    cluster = BayouCluster(RList(), config, protocol=protocol, filters=filters)
+
+    requests: Dict[str, Any] = {}
+
+    def invoke(name: str, pid: int, op, strong: bool) -> None:
+        requests[name] = cluster.invoke(pid, op, strong=strong)
+
+    cluster.sim.schedule_at(1.0, lambda: invoke("append_a", 0, RList.append("a"), False))
+    cluster.sim.schedule_at(
+        10.0, lambda: invoke("append_x", 0, RList.append("x"), strong_append)
+    )
+    cluster.sim.schedule_at(
+        10.2, lambda: invoke("duplicate", 1, RList.duplicate(), True)
+    )
+    cluster.run_until_quiescent()
+
+    cluster.add_horizon_probes(RList.read)
+    cluster.run_until_quiescent()
+
+    history = cluster.build_history()
+    responses = {
+        name: history.event(req.dot).rval for name, req in requests.items()
+    }
+    execution = build_abstract_execution(history)
+    final_value = cluster.replicas[0].state.datatype.execute(
+        RList.read(), _snapshot_view(cluster)
+    )
+    return Figure1Result(
+        protocol=protocol,
+        strong_append=strong_append,
+        responses=responses,
+        final_value=final_value,
+        converged=cluster.converged(),
+        reordering_witnesses=count_reordering_witnesses(history),
+        trace_final_discords=count_trace_final_discords(history),
+        history=history,
+        bec_weak=check_bec(execution, WEAK),
+        fec_weak=check_fec(execution, WEAK),
+        seq_strong=check_seq(execution, STRONG),
+    )
+
+
+def _snapshot_view(cluster: BayouCluster):
+    """A read-only view over replica 0's converged register map."""
+    from repro.datatypes.base import PlainDb
+
+    return PlainDb(cluster.replicas[0].state.snapshot())
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for protocol in (ORIGINAL, MODIFIED):
+        for strong_append in (False, True):
+            result = run_figure1(protocol=protocol, strong_append=strong_append)
+            print(
+                f"{protocol:8s} strong_append={strong_append!s:5s} "
+                f"responses={result.responses} final={result.final_value!r} "
+                f"reorder={result.reordering_witnesses} "
+                f"BEC(weak) ok={result.bec_weak.ok} "
+                f"FEC(weak) ok={result.fec_weak.ok}"
+            )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,107 @@
+"""Experiment E2 — Figure 2: circular causality between two weak appends.
+
+Schedule (two replicas, list initially holding the committed ``a``):
+
+- R0 invokes weak ``append("x")`` (timestamp 10); R1 invokes weak
+  ``append("y")`` slightly later in real time with a *smaller* timestamp
+  (clock offset −0.5), so the tentative order is ``y, x``.
+- R0 executes speculatively before TOB settles: ``append(x)`` returns
+  **ayx** — evidence that x observed y.
+- R1 is slow (per-step cost 30), so by the time it first executes
+  ``append(y)`` the TOB order ``a, x, y`` is already committed there:
+  ``append(y)`` returns **axy** — evidence that y observed x.
+
+Each return value claims the *other* operation happened first: circular
+causality, detected by the NCC checker as an hb-cycle. Under the modified
+protocol (Algorithm 2) the same schedule is cycle-free: each weak append
+executes immediately at invocation, so its response can only reflect
+operations that were already in the replica's state (x → ``ax``; y → ``y``,
+since the slow R1 has not even executed ``a`` yet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.analysis.experiments.common import tob_delay_filter
+from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
+from repro.core.config import BayouConfig
+from repro.datatypes.rlist import RList
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import GuaranteeReport, check_fec
+from repro.framework.history import History, WEAK
+from repro.framework.predicates import CheckResult, check_ncc
+from repro.net.faults import MessageFilter
+
+
+@dataclass
+class Figure2Result:
+    """The Figure 2 observables."""
+
+    protocol: str
+    responses: Dict[str, Any]
+    circular_causality: bool
+    cycle_description: str
+    converged: bool
+    ncc: CheckResult = field(repr=False, default=None)
+    fec_weak: GuaranteeReport = field(repr=False, default=None)
+    history: History = field(repr=False, default=None)
+
+
+def run_figure2(*, protocol: str = ORIGINAL) -> Figure2Result:
+    """Run the Figure 2 schedule under the chosen protocol."""
+    config = BayouConfig(
+        n_replicas=2,
+        exec_delay=1.5,
+        exec_delay_overrides={1: 30.0},
+        message_delay=1.0,
+        clock_offsets={1: -0.5},
+        sequencer_pid=0,
+    )
+    filters = MessageFilter()
+    tob_delay_filter(filters, 10.0)
+    cluster = BayouCluster(RList(), config, protocol=protocol, filters=filters)
+
+    requests: Dict[str, Any] = {}
+
+    def invoke(name: str, pid: int, op) -> None:
+        requests[name] = cluster.invoke(pid, op, strong=False)
+
+    cluster.sim.schedule_at(1.0, lambda: invoke("append_a", 0, RList.append("a")))
+    cluster.sim.schedule_at(10.0, lambda: invoke("append_x", 0, RList.append("x")))
+    cluster.sim.schedule_at(10.2, lambda: invoke("append_y", 1, RList.append("y")))
+    cluster.run_until_quiescent()
+    cluster.add_horizon_probes(RList.read)
+    cluster.run_until_quiescent()
+
+    history = cluster.build_history()
+    responses = {
+        name: history.event(req.dot).rval for name, req in requests.items()
+    }
+    execution = build_abstract_execution(history)
+    ncc = check_ncc(execution)
+    return Figure2Result(
+        protocol=protocol,
+        responses=responses,
+        circular_causality=not ncc.ok,
+        cycle_description=ncc.violations[0] if ncc.violations else "",
+        converged=cluster.converged(),
+        ncc=ncc,
+        fec_weak=check_fec(execution, WEAK),
+        history=history,
+    )
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for protocol in (ORIGINAL, MODIFIED):
+        result = run_figure2(protocol=protocol)
+        print(
+            f"{protocol:8s} responses={result.responses} "
+            f"circular={result.circular_causality} "
+            f"({result.cycle_description}) converged={result.converged}"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,37 @@
+"""Plain-text tables for experiment output (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], *, title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * width for width in widths]))
+    for row in rendered_rows:
+        parts.append(line(row))
+    return "\n".join(parts)
+
+
+def _render(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    return str(cell)

@@ -1,0 +1,175 @@
+"""Random workload generation over the replicated data types.
+
+A :class:`WorkloadProfile` is a weighted set of operation factories plus a
+probability of issuing an operation as strong. :class:`RandomWorkload`
+drives closed-loop :class:`~repro.core.client.ClientSession` clients (one
+per replica) so the resulting history is well-formed, which the checking
+experiments (Theorems 2/3) require.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.client import ClientSession
+from repro.datatypes.base import Operation
+from repro.datatypes.bank import BankAccounts
+from repro.datatypes.counter import Counter
+from repro.datatypes.kvstore import KVStore
+from repro.datatypes.orset import SetType
+from repro.datatypes.rlist import RList
+from repro.sim.rng import SeededRngRegistry
+
+OpFactory = Callable[[random.Random], Operation]
+
+
+@dataclass
+class WorkloadProfile:
+    """Weighted operation mix for one data type."""
+
+    name: str
+    factories: List[Tuple[float, OpFactory]]
+    strong_probability: float = 0.2
+
+    def sample(self, rng: random.Random) -> Tuple[Operation, bool]:
+        """Draw one (operation, strong?) pair."""
+        total = sum(weight for weight, _ in self.factories)
+        pick = rng.uniform(0, total)
+        accumulated = 0.0
+        for weight, factory in self.factories:
+            accumulated += weight
+            if pick <= accumulated:
+                op = factory(rng)
+                break
+        else:  # pragma: no cover - float edge
+            op = self.factories[-1][1](rng)
+        strong = rng.random() < self.strong_probability
+        return op, strong
+
+
+def counter_profile(strong_probability: float = 0.2) -> WorkloadProfile:
+    """Increments, decrements, conditional adds and reads on a counter."""
+    return WorkloadProfile(
+        name="counter",
+        factories=[
+            (4.0, lambda rng: Counter.increment(rng.randint(1, 5))),
+            (2.0, lambda rng: Counter.decrement(rng.randint(1, 3))),
+            (1.0, lambda rng: Counter.add_if_even(rng.randint(1, 3))),
+            (2.0, lambda rng: Counter.read()),
+        ],
+        strong_probability=strong_probability,
+    )
+
+
+def list_profile(strong_probability: float = 0.2) -> WorkloadProfile:
+    """The paper's list: appends, duplicates and reads."""
+    alphabet = "abcdefgh"
+    return WorkloadProfile(
+        name="list",
+        factories=[
+            (5.0, lambda rng: RList.append(rng.choice(alphabet))),
+            (1.0, lambda rng: RList.duplicate()),
+            (2.0, lambda rng: RList.read()),
+            (1.0, lambda rng: RList.size()),
+        ],
+        strong_probability=strong_probability,
+    )
+
+
+def kv_profile(strong_probability: float = 0.25) -> WorkloadProfile:
+    """Puts, conditional puts (the consensus-requiring op), gets, removes."""
+    keys = ["alpha", "beta", "gamma", "delta"]
+    return WorkloadProfile(
+        name="kv",
+        factories=[
+            (3.0, lambda rng: KVStore.put(rng.choice(keys), rng.randint(0, 99))),
+            (2.0, lambda rng: KVStore.put_if_absent(rng.choice(keys), rng.randint(0, 99))),
+            (3.0, lambda rng: KVStore.get(rng.choice(keys))),
+            (1.0, lambda rng: KVStore.remove(rng.choice(keys))),
+        ],
+        strong_probability=strong_probability,
+    )
+
+
+def bank_profile(strong_probability: float = 0.3) -> WorkloadProfile:
+    """Deposits, guarded withdrawals and transfers over a few accounts."""
+    accounts = ["checking", "savings", "escrow"]
+    return WorkloadProfile(
+        name="bank",
+        factories=[
+            (3.0, lambda rng: BankAccounts.deposit(rng.choice(accounts), rng.randint(1, 50))),
+            (2.0, lambda rng: BankAccounts.withdraw(rng.choice(accounts), rng.randint(1, 60))),
+            (1.0, lambda rng: BankAccounts.transfer(
+                rng.choice(accounts), rng.choice(accounts), rng.randint(1, 30))),
+            (2.0, lambda rng: BankAccounts.balance(rng.choice(accounts))),
+        ],
+        strong_probability=strong_probability,
+    )
+
+
+def set_profile(strong_probability: float = 0.2) -> WorkloadProfile:
+    """Adds, removes and membership checks over a small element space."""
+    elements = list(range(6))
+    return WorkloadProfile(
+        name="set",
+        factories=[
+            (3.0, lambda rng: SetType.add(rng.choice(elements))),
+            (2.0, lambda rng: SetType.remove(rng.choice(elements))),
+            (2.0, lambda rng: SetType.contains(rng.choice(elements))),
+            (1.0, lambda rng: SetType.elements()),
+        ],
+        strong_probability=strong_probability,
+    )
+
+
+PROFILES = {
+    "counter": counter_profile,
+    "list": list_profile,
+    "kv": kv_profile,
+    "bank": bank_profile,
+    "set": set_profile,
+}
+
+
+class RandomWorkload:
+    """Drives closed-loop sessions against a cluster."""
+
+    def __init__(
+        self,
+        cluster,
+        profile: WorkloadProfile,
+        *,
+        ops_per_session: int = 10,
+        think_time: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.profile = profile
+        self.ops_per_session = ops_per_session
+        self.think_time = think_time
+        self.rngs = SeededRngRegistry(seed)
+        self.sessions: List[ClientSession] = []
+
+    def start(self) -> None:
+        """Create one session per replica and queue its operations."""
+        for pid in range(self.cluster.config.n_replicas):
+            session = ClientSession(
+                self.cluster, pid, think_time=self.think_time
+            )
+            rng = self.rngs.stream(f"session.{pid}")
+            for _ in range(self.ops_per_session):
+                op, strong = self.profile.sample(rng)
+                session.submit(op, strong)
+            self.sessions.append(session)
+
+    @property
+    def all_done(self) -> bool:
+        return all(session.idle for session in self.sessions)
+
+    def latencies(self) -> List[float]:
+        samples: List[float] = []
+        for session in self.sessions:
+            samples.extend(session.latencies)
+        return samples

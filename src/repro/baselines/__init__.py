@@ -1,0 +1,25 @@
+"""Baseline systems the paper positions Bayou against.
+
+- :class:`~repro.baselines.ec_store.ECStoreCluster` — a Dynamo/Cassandra-
+  style eventually consistent store: one ordering method (timestamps / LWW),
+  no speculation visible to clients, hence no temporary reordering — and,
+  as the paper stresses, correspondingly limited semantics (blind writes).
+- :class:`~repro.baselines.smr.SMRCluster` — state machine replication: all
+  operations through TOB, strongly consistent, blocks under partitions.
+- :class:`~repro.baselines.gsp.GSPCluster` — the Global Sequence Protocol
+  [Burckhardt et al., ECOOP'15]: clients speculate only over their *own*
+  pending operations on top of a cloud-established prefix; no inter-client
+  tentative visibility, hence no temporary reordering, but no progress of
+  mutual visibility when the cloud is unreachable (so Theorem 1 does not
+  apply to it).
+
+All baselines run on the same simulator/network substrate as Bayou and
+produce framework-checkable histories, so the guarantee matrix (E7) and the
+performance envelope (E8) compare protocols on equal footing.
+"""
+
+from repro.baselines.ec_store import ECStoreCluster
+from repro.baselines.gsp import GSPCluster
+from repro.baselines.smr import SMRCluster
+
+__all__ = ["ECStoreCluster", "GSPCluster", "SMRCluster"]

@@ -1,0 +1,36 @@
+"""Broadcast primitives: RB, Ω, and two Total Order Broadcast engines.
+
+The paper replaces Bayou's primary with Total Order Broadcast (TOB), which
+requires solving consensus and hence (in stable runs) a failure detector at
+least as strong as Ω. This package provides:
+
+- :class:`~repro.broadcast.reliable.ReliableBroadcast` — eager, uniform RB
+  with relay-on-first-delivery, deduplicated by message key;
+- :class:`~repro.broadcast.failure_detector.OmegaFailureDetector` — a
+  heartbeat-based eventual leader oracle;
+- :class:`~repro.broadcast.sequencer.SequencerTOB` — fixed-sequencer TOB
+  (the simple reference engine);
+- :class:`~repro.broadcast.paxos.PaxosTOB` — Multi-Paxos TOB whose liveness
+  depends on Ω, demonstrating the quorum-based non-blocking behaviour from
+  Section 2.3 of the paper.
+
+Both TOB engines satisfy the paper's non-standard extra requirements
+(Appendix A.2.1): FIFO order per sender, and "RB-delivered by a correct
+replica ⇒ eventually TOB-delivered by all correct replicas" in stable runs
+(realised by retransmission at the Bayou layer plus at-most-once ordering by
+key inside the engines).
+"""
+
+from repro.broadcast.failure_detector import OmegaFailureDetector
+from repro.broadcast.paxos import PaxosTOB
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.broadcast.sequencer import SequencerTOB
+from repro.broadcast.total_order import TotalOrderBroadcast
+
+__all__ = [
+    "OmegaFailureDetector",
+    "PaxosTOB",
+    "ReliableBroadcast",
+    "SequencerTOB",
+    "TotalOrderBroadcast",
+]

@@ -1,0 +1,469 @@
+"""Multi-Paxos Total Order Broadcast.
+
+A faithful quorum-based TOB engine, as footnoted in Section 2.3 of the
+paper: "TOB ... can be implemented in a non-blocking fashion through e.g.,
+quorum-based protocols such as Paxos". Every node plays all three roles:
+
+- **proposer**: the node currently trusted as leader by Ω assigns pending
+  client payloads to consecutive consensus instances;
+- **acceptor**: classic promised/accepted single-decree state per instance;
+- **learner**: decided instances are delivered in instance order.
+
+Key design points
+------------------
+- Ballots are ``(round, pid)`` pairs; a new leader picks a round higher than
+  any it has seen and runs a single *global* phase 1 covering all instances
+  from its first undecided one (standard Multi-Paxos).
+- Gaps left by a deposed leader are filled with ``NOOP`` values which
+  learners skip, preserving total order without blocking.
+- Payloads are deduplicated by ``key``: a key is assigned to at most one
+  instance (re-submissions after retransmission are absorbed), giving the
+  at-most-once ordering the paper's TOB contract needs.
+- A self-rearming *drive* timer retransmits unfinished work and anti-entropy
+  status messages; it stays quiet when there is nothing to do, so stable
+  runs quiesce naturally once all submissions are decided and delivered.
+- Liveness requires a majority of responsive acceptors and an eventually
+  accurate Ω — i.e. the paper's *stable runs*. Under a lasting partition a
+  minority component keeps retrying without ever deciding: the paper's
+  *asynchronous runs*, in which strong operations block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.broadcast.failure_detector import OmegaFailureDetector
+from repro.broadcast.total_order import DeliverFn, TotalOrderBroadcast
+from repro.net.node import RoutingNode
+from repro.sim.trace import TraceLog
+
+_TAG = "paxos"
+
+Ballot = Tuple[int, int]
+
+#: Sentinel proposed into gap instances; never delivered to the application.
+NOOP = ("__paxos_noop__", None)
+
+
+@dataclass
+class AcceptorInstance:
+    """Single-decree acceptor state for one consensus instance."""
+
+    promised: Ballot = (-1, -1)
+    accepted_ballot: Optional[Ballot] = None
+    accepted_value: Optional[Tuple[Hashable, Any]] = None
+
+
+@dataclass
+class ProposerInstance:
+    """Leader-side bookkeeping for one in-flight instance."""
+
+    ballot: Ballot
+    value: Tuple[Hashable, Any]
+    acks: Set[int] = field(default_factory=set)
+    decided: bool = False
+
+
+class PaxosTOB(TotalOrderBroadcast):
+    """Per-node endpoint of Multi-Paxos total order broadcast."""
+
+    def __init__(
+        self,
+        node: RoutingNode,
+        deliver: DeliverFn,
+        omega: OmegaFailureDetector,
+        *,
+        retry_interval: float = 15.0,
+        trace: Optional[TraceLog] = None,
+        tag: str = _TAG,
+    ) -> None:
+        self.node = node
+        self._deliver = deliver
+        self.omega = omega
+        self.retry_interval = retry_interval
+        self.trace = trace
+        self.tag = tag
+        self.n = node.network.n_processes
+        self.majority = self.n // 2 + 1
+
+        # Client-facing submission state.
+        self._pending: Dict[Hashable, Any] = {}
+        self._known_keys: Set[Hashable] = set()
+
+        # Acceptor state. ``_baseline_promise`` is the promise that applies
+        # to instances for which no explicit state exists yet (a global
+        # phase 1 covers all instances from some point on).
+        self._acceptor: Dict[int, AcceptorInstance] = {}
+        self._baseline_promise: Ballot = (-1, -1)
+        self._max_round_seen = 0
+
+        # Leader state.
+        self._is_leader = False
+        self._ballot: Optional[Ballot] = None
+        self._phase1_acks: Dict[int, Dict[int, Tuple[Optional[Ballot], Any]]] = {}
+        self._phase1_from: Set[int] = set()
+        self._phase1_complete = False
+        self._phase1_first_instance = 0
+        self._proposals: Dict[int, ProposerInstance] = {}
+        self._next_instance = 0
+
+        # Learner state. A key can be decided in two instances when
+        # leadership churns mid-proposal; learners deliver it only once
+        # (standard duplicate-command handling in Multi-Paxos SMR).
+        self._decided: Dict[int, Tuple[Hashable, Any]] = {}
+        self._next_deliver = 0
+        self._delivered: List[Hashable] = []
+        self._delivered_keys: Set[Hashable] = set()
+
+        self._stopped = False
+        self._drive_armed = False
+
+        node.register_component(tag, self._on_message)
+        omega.on_leader_change = self._on_leader_change
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def delivered_sequence(self) -> List[Hashable]:
+        return list(self._delivered)
+
+    def tob_cast(self, key: Hashable, payload: Any) -> None:
+        """Submit ``payload`` under ``key`` for total ordering."""
+        if key in self._known_keys:
+            return
+        self._known_keys.add(key)
+        self._pending[key] = payload
+        if self.trace is not None:
+            self.trace.record(self.node.sim.now, self.node.pid, "paxos.cast", key=key)
+        self._forward_pending()
+        self._ensure_driving()
+
+    def stop(self) -> None:
+        """Stop the drive timer (the hosting harness also stops Ω)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Leadership
+    # ------------------------------------------------------------------
+    def _on_leader_change(self, leader: int) -> None:
+        if leader == self.node.pid:
+            self._become_leader()
+        else:
+            self._is_leader = False
+            self._forward_pending()
+
+    def _become_leader(self) -> None:
+        self._is_leader = True
+        self._phase1_complete = False
+        self._phase1_acks = {}
+        self._phase1_from = set()
+        self._proposals = {}
+        round_number = self._max_round_seen + 1
+        self._max_round_seen = round_number
+        self._ballot = (round_number, self.node.pid)
+        self._phase1_first_instance = self._next_deliver
+        self.node.broadcast_component(
+            self.tag,
+            ("p1a", self._ballot, self._phase1_first_instance),
+            include_self=True,
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.node.pid, "paxos.phase1", ballot=self._ballot
+            )
+        self._ensure_driving()
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, sender: int, message: Tuple) -> None:
+        kind = message[0]
+        handler = {
+            "p1a": self._handle_p1a,
+            "p1b": self._handle_p1b,
+            "p2a": self._handle_p2a,
+            "p2b": self._handle_p2b,
+            "nack": self._handle_nack,
+            "decide": self._handle_decide,
+            "submit": self._handle_submit,
+            "status": self._handle_status,
+            "repair": self._handle_repair,
+        }.get(kind)
+        if handler is None:  # pragma: no cover - defensive
+            raise ValueError(f"unknown paxos message {kind!r}")
+        handler(sender, message[1:])
+
+    # --- acceptor ------------------------------------------------------
+    def _handle_p1a(self, sender: int, args: Tuple) -> None:
+        ballot, first_instance = args
+        self._max_round_seen = max(self._max_round_seen, ballot[0])
+        relevant = [
+            state
+            for instance, state in self._acceptor.items()
+            if instance >= first_instance
+        ]
+        highest_promise = max(
+            [self._baseline_promise] + [state.promised for state in relevant]
+        )
+        if highest_promise > ballot:
+            self.node.send_component(
+                sender, self.tag, ("nack", ballot, highest_promise)
+            )
+            return
+        accepted: Dict[int, Tuple[Ballot, Tuple[Hashable, Any]]] = {}
+        for instance, state in self._acceptor.items():
+            if instance < first_instance:
+                continue
+            state.promised = ballot
+            if state.accepted_ballot is not None:
+                accepted[instance] = (state.accepted_ballot, state.accepted_value)
+        self._baseline_promise = ballot
+        self.node.send_component(sender, self.tag, ("p1b", ballot, accepted))
+
+    def _acceptor_state(self, instance: int) -> AcceptorInstance:
+        state = self._acceptor.get(instance)
+        if state is None:
+            state = AcceptorInstance(promised=self._baseline_promise)
+            self._acceptor[instance] = state
+        return state
+
+    def _handle_p2a(self, sender: int, args: Tuple) -> None:
+        ballot, instance, value = args
+        self._max_round_seen = max(self._max_round_seen, ballot[0])
+        state = self._acceptor_state(instance)
+        if ballot >= state.promised:
+            state.promised = ballot
+            state.accepted_ballot = ballot
+            state.accepted_value = value
+            self.node.send_component(sender, self.tag, ("p2b", ballot, instance))
+        else:
+            self.node.send_component(
+                sender, self.tag, ("nack", ballot, state.promised)
+            )
+
+    def _handle_nack(self, sender: int, args: Tuple) -> None:
+        """A rejected ballot: escalate past the promise that beat us.
+
+        Without this, a leader whose acceptors promised a higher ballot (a
+        deposed rival's phase 1 arriving late, e.g. after a partition heals)
+        would retransmit the same stale ballot forever.
+        """
+        ballot, promised = args
+        self._max_round_seen = max(self._max_round_seen, promised[0])
+        if (
+            self._is_leader
+            and ballot == self._ballot
+            and self.omega.leader() == self.node.pid
+        ):
+            self._become_leader()
+
+    # --- proposer ------------------------------------------------------
+    def _handle_p1b(self, sender: int, args: Tuple) -> None:
+        ballot, accepted = args
+        if not self._is_leader or ballot != self._ballot or self._phase1_complete:
+            return
+        self._phase1_from.add(sender)
+        for instance, (acc_ballot, acc_value) in accepted.items():
+            per_instance = self._phase1_acks.setdefault(instance, {})
+            per_instance[sender] = (acc_ballot, acc_value)
+        if len(self._phase1_from) >= self.majority:
+            self._complete_phase1()
+
+    def _complete_phase1(self) -> None:
+        self._phase1_complete = True
+        # Re-propose the highest-ballot accepted value per reported instance;
+        # fill holes with NOOP so the log stays contiguous.
+        reported = [i for i in self._phase1_acks if i >= self._phase1_first_instance]
+        max_reported = max(reported) if reported else self._phase1_first_instance - 1
+        self._next_instance = max(self._next_instance, self._phase1_first_instance)
+        for instance in range(self._phase1_first_instance, max_reported + 1):
+            if instance in self._decided:
+                continue
+            votes = self._phase1_acks.get(instance, {})
+            if votes:
+                _, value = max(votes.values(), key=lambda v: v[0])
+            else:
+                value = NOOP
+            self._propose(instance, value)
+        self._next_instance = max(self._next_instance, max_reported + 1)
+        self._assign_pending()
+
+    def _propose(self, instance: int, value: Tuple[Hashable, Any]) -> None:
+        assert self._ballot is not None
+        self._proposals[instance] = ProposerInstance(ballot=self._ballot, value=value)
+        self.node.broadcast_component(
+            self.tag, ("p2a", self._ballot, instance, value), include_self=True
+        )
+
+    def _assign_pending(self) -> None:
+        """Assign not-yet-proposed pending keys to fresh instances."""
+        if not (self._is_leader and self._phase1_complete):
+            return
+        in_flight = {
+            proposal.value[0]
+            for proposal in self._proposals.values()
+            if not proposal.decided
+        }
+        decided_keys = {key for key, _ in self._decided.values()}
+        for key in list(self._pending):
+            if key in decided_keys:
+                del self._pending[key]
+                continue
+            if key in in_flight:
+                continue
+            instance = self._next_instance
+            self._next_instance += 1
+            self._propose(instance, (key, self._pending[key]))
+            in_flight.add(key)
+
+    def _fill_gaps(self) -> None:
+        """Propose NOOP for undecided instances below the decided frontier.
+
+        Leadership churn can leave holes (an instance whose only proposal
+        died with its ballot) beneath instances that did decide; the current
+        leader plugs them so delivery can progress. Phase-1-discovered
+        accepted values, if any, were already re-proposed, so NOOP here can
+        never overwrite a possibly-chosen value: an instance with a chosen
+        value has it accepted at a majority, which phase 1 must intersect.
+        """
+        assert self._is_leader and self._phase1_complete
+        if not self._decided:
+            return
+        frontier = max(self._decided)
+        for instance in range(self._next_deliver, frontier):
+            if instance in self._decided or instance in self._proposals:
+                continue
+            self._propose(instance, NOOP)
+
+    def _handle_p2b(self, sender: int, args: Tuple) -> None:
+        ballot, instance = args
+        proposal = self._proposals.get(instance)
+        if proposal is None or proposal.ballot != ballot or proposal.decided:
+            return
+        proposal.acks.add(sender)
+        if len(proposal.acks) >= self.majority:
+            proposal.decided = True
+            self.node.broadcast_component(
+                self.tag, ("decide", instance, proposal.value), include_self=True
+            )
+
+    # --- learner -------------------------------------------------------
+    def _handle_decide(self, sender: int, args: Tuple) -> None:
+        instance, value = args
+        if instance in self._decided:
+            return
+        self._decided[instance] = value
+        key = value[0]
+        self._pending.pop(key, None)
+        self._deliver_ready()
+        self._assign_pending()
+        self._ensure_driving()
+
+    def _deliver_ready(self) -> None:
+        while self._next_deliver in self._decided:
+            key, payload = self._decided[self._next_deliver]
+            instance = self._next_deliver
+            self._next_deliver += 1
+            if (key, payload) == NOOP:
+                continue
+            if key in self._delivered_keys:
+                continue  # duplicate decision of a re-proposed key
+            self._delivered_keys.add(key)
+            self._delivered.append(key)
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.sim.now,
+                    self.node.pid,
+                    "tob.deliver",
+                    key=key,
+                    seqno=instance,
+                )
+            self._deliver(key, payload)
+
+    # --- submissions and anti-entropy ----------------------------------
+    def _handle_submit(self, sender: int, args: Tuple) -> None:
+        key, payload = args
+        if key in {k for k, _ in self._decided.values()}:
+            return
+        if key not in self._known_keys:
+            self._known_keys.add(key)
+            self._pending[key] = payload
+        self._assign_pending()
+        self._ensure_driving()
+
+    def _handle_status(self, sender: int, args: Tuple) -> None:
+        (their_next,) = args
+        # Send any decided instances the peer is missing.
+        repairs = {
+            instance: value
+            for instance, value in self._decided.items()
+            if instance >= their_next
+        }
+        if repairs:
+            self.node.send_component(sender, self.tag, ("repair", repairs))
+
+    def _handle_repair(self, sender: int, args: Tuple) -> None:
+        (repairs,) = args
+        for instance, value in repairs.items():
+            if instance not in self._decided:
+                self._decided[instance] = value
+                self._pending.pop(value[0], None)
+        self._deliver_ready()
+        self._ensure_driving()
+
+    def _forward_pending(self) -> None:
+        """Send pending submissions to the node currently trusted as leader."""
+        leader = self.omega.leader()
+        for key, payload in self._pending.items():
+            if leader == self.node.pid:
+                self._handle_submit(self.node.pid, (key, payload))
+            else:
+                self.node.send_component(leader, self.tag, ("submit", key, payload))
+
+    # ------------------------------------------------------------------
+    # Drive timer: retransmission + anti-entropy
+    # ------------------------------------------------------------------
+    def _has_work(self) -> bool:
+        if self._pending:
+            return True
+        if self._is_leader and any(
+            not proposal.decided for proposal in self._proposals.values()
+        ):
+            return True
+        if self._decided and self._next_deliver <= max(self._decided):
+            return True
+        return False
+
+    def _ensure_driving(self) -> None:
+        if self._drive_armed or self._stopped or not self._has_work():
+            return
+        self._drive_armed = True
+        self.node.set_timer(self.retry_interval, self._drive, label="paxos.drive")
+
+    def _drive(self) -> None:
+        self._drive_armed = False
+        if self._stopped or not self._has_work():
+            return
+        if self.omega.leader() == self.node.pid and not self._is_leader:
+            self._become_leader()
+        if self._is_leader:
+            if not self._phase1_complete:
+                # Phase 1 stalled (lost messages / partition): retry it.
+                self._become_leader()
+            else:
+                self._assign_pending()
+                self._fill_gaps()
+                for instance, proposal in self._proposals.items():
+                    if not proposal.decided:
+                        self.node.broadcast_component(
+                            self.tag,
+                            ("p2a", proposal.ballot, instance, proposal.value),
+                            include_self=True,
+                        )
+        else:
+            self._forward_pending()
+        # Anti-entropy: ask peers for decided instances we might be missing.
+        self.node.broadcast_component(self.tag, ("status", self._next_deliver))
+        self._ensure_driving()

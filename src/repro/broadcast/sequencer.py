@@ -1,0 +1,114 @@
+"""Fixed-sequencer Total Order Broadcast.
+
+The simplest TOB engine from the classic taxonomy (Défago, Schiper & Urbán):
+all messages are forwarded to a designated sequencer which assigns global
+sequence numbers and re-broadcasts; endpoints deliver in sequence-number
+order through a hold-back queue.
+
+Properties relative to the paper's contract:
+
+- total order and FIFO-per-sender hold because links are FIFO and the
+  sequencer orders proposals in arrival order;
+- in stable runs every proposal reaches the sequencer (possibly after a
+  partition heals) so agreement holds;
+- the engine is *not* tolerant of a sequencer crash — that is precisely the
+  fault-tolerance gap the paper points out about primary-based Bayou, and
+  why :mod:`repro.broadcast.paxos` exists. A sequencer isolated by a
+  partition stalls TOB for everyone else, which is how experiment E6 creates
+  the paper's asynchronous runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.broadcast.total_order import DeliverFn, TotalOrderBroadcast
+from repro.net.node import RoutingNode
+from repro.sim.trace import TraceLog
+
+_TAG = "seqtob"
+
+
+class SequencerTOB(TotalOrderBroadcast):
+    """Per-node endpoint of the fixed-sequencer TOB."""
+
+    def __init__(
+        self,
+        node: RoutingNode,
+        deliver: DeliverFn,
+        *,
+        sequencer_pid: int = 0,
+        trace: Optional[TraceLog] = None,
+        tag: str = _TAG,
+    ) -> None:
+        self.node = node
+        self._deliver = deliver
+        self.sequencer_pid = sequencer_pid
+        self.trace = trace
+        self.tag = tag
+        # Sequencer-side state.
+        self._next_seqno = 0
+        self._ordered_keys: Set[Hashable] = set()
+        # Endpoint-side state.
+        self._holdback: Dict[int, Tuple[Hashable, Any]] = {}
+        self._next_to_deliver = 0
+        self._delivered: List[Hashable] = []
+        node.register_component(tag, self._on_message)
+
+    @property
+    def delivered_sequence(self) -> List[Hashable]:
+        return list(self._delivered)
+
+    def tob_cast(self, key: Hashable, payload: Any) -> None:
+        """Forward the message to the sequencer for global ordering."""
+        self.node.send_component(
+            self.sequencer_pid, self.tag, ("propose", key, payload)
+        )
+        if self.trace is not None:
+            self.trace.record(self.node.sim.now, self.node.pid, "tob.cast", key=key)
+
+    def stop(self) -> None:
+        """No periodic activity to stop in this engine."""
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, sender: int, message: Tuple) -> None:
+        kind = message[0]
+        if kind == "propose":
+            self._sequencer_handle_propose(message[1], message[2])
+        elif kind == "order":
+            self._endpoint_handle_order(message[1], message[2], message[3])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown sequencer-TOB message {kind!r}")
+
+    def _sequencer_handle_propose(self, key: Hashable, payload: Any) -> None:
+        if self.node.pid != self.sequencer_pid:
+            # A stale proposal addressed to a former sequencer; ignore.
+            return
+        if key in self._ordered_keys:
+            return
+        self._ordered_keys.add(key)
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        self.node.broadcast_component(
+            self.tag, ("order", seqno, key, payload), include_self=True
+        )
+
+    def _endpoint_handle_order(self, seqno: int, key: Hashable, payload: Any) -> None:
+        if seqno < self._next_to_deliver:
+            return
+        self._holdback[seqno] = (key, payload)
+        while self._next_to_deliver in self._holdback:
+            ordered_key, ordered_payload = self._holdback.pop(self._next_to_deliver)
+            self._next_to_deliver += 1
+            self._delivered.append(ordered_key)
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.sim.now,
+                    self.node.pid,
+                    "tob.deliver",
+                    key=ordered_key,
+                    seqno=self._next_to_deliver - 1,
+                )
+            self._deliver(ordered_key, ordered_payload)

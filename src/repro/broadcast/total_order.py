@@ -1,0 +1,42 @@
+"""Total Order Broadcast (TOB) interface.
+
+The paper's TOB contract (Section 2.1 and Appendix A.2.1):
+
+1. **Total order**: all replicas TOB-deliver all TOB-delivered messages in
+   the same order.
+2. **Validity/agreement**: in stable runs, a message TOB-cast by a correct
+   replica is eventually TOB-delivered by every correct replica.
+3. **FIFO per sender**: TOB respects the order in which each replica
+   TOB-casts messages.
+4. If a message was both RB-cast and TOB-cast by some replica and RB-delivered
+   by a correct replica, eventually all correct replicas TOB-deliver it.
+   (Achieved jointly with the Bayou layer: replicas re-submit tentative,
+   uncommitted requests; engines order each key at most once.)
+
+Implementations: :class:`~repro.broadcast.sequencer.SequencerTOB` and
+:class:`~repro.broadcast.paxos.PaxosTOB`. Both are exercised by the same
+contract test-suite in ``tests/test_tob_contract.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+DeliverFn = Callable[[Hashable, Any], None]
+
+
+class TotalOrderBroadcast:
+    """Abstract per-node TOB endpoint."""
+
+    def tob_cast(self, key: Hashable, payload: Any) -> None:
+        """Submit ``payload`` (idempotently, by ``key``) for total ordering."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Stop periodic activity (retransmissions, heartbeats)."""
+        raise NotImplementedError
+
+    @property
+    def delivered_sequence(self) -> list:
+        """The keys TOB-delivered at this node, in delivery order."""
+        raise NotImplementedError

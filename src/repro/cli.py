@@ -1,0 +1,112 @@
+"""Command-line interface: run any paper experiment and print its rows.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro figure1              # one experiment
+    python -m repro all                  # the full reproduction sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+
+def _run_figure1() -> None:
+    from repro.analysis.experiments import figure1
+
+    figure1.main()
+
+
+def _run_figure2() -> None:
+    from repro.analysis.experiments import figure2
+
+    figure2.main()
+
+
+def _run_progress() -> None:
+    from repro.analysis.experiments import progress
+
+    progress.main()
+
+
+def _run_theorem1() -> None:
+    from repro.analysis.experiments import theorem1
+
+    theorem1.main()
+
+
+def _run_theorems() -> None:
+    from repro.analysis.experiments import theorems
+
+    theorems.main()
+
+
+def _run_matrix() -> None:
+    from repro.analysis.experiments import matrix
+
+    matrix.main()
+
+
+def _run_performance() -> None:
+    from repro.analysis.experiments import performance
+
+    performance.main()
+
+
+def _run_sessions() -> None:
+    from repro.analysis.experiments import sessions
+
+    sessions.main()
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
+    "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
+    "progress": ("E3: Section 2.3 — unbounded waits, rollback storm", _run_progress),
+    "theorem1": ("E4: Theorem 1 — live schedule + exhaustive search", _run_theorem1),
+    "theorems": ("E5/E6: Theorems 2 & 3 — FEC ∧ Seq checked on runs", _run_theorems),
+    "matrix": ("E7: guarantee matrix across systems", _run_matrix),
+    "performance": ("E8: latency/throughput envelope", _run_performance),
+    "sessions": ("E9: session-guarantee cost of Algorithm 2", _run_sessions),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On mixing eventual and strong consistency: "
+            "Bayou revisited' (PODC 2019). Runs the paper's experiments."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment id, 'all' for the full sweep, 'list' to enumerate",
+    )
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            description, _ = EXPERIMENTS[name]
+            print(f"  {name:12s} {description}")
+        return 0
+    selected = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in selected:
+        description, runner = EXPERIMENTS[name]
+        print(f"== {description} ==")
+        runner()
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

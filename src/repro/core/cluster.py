@@ -1,0 +1,406 @@
+"""The Bayou cluster harness.
+
+Wires together the full stack — simulator, drifting clocks, network with
+partitions and fault filters, reliable broadcast, a TOB engine (sequencer or
+Multi-Paxos with Ω), and one Bayou replica per node — and records the
+history of every invocation with the instrumentation the formal framework
+needs (request timestamps, TOB order, perceived execution traces).
+
+Typical experiment shape::
+
+    cluster = BayouCluster(RList(), BayouConfig(n_replicas=2))
+    cluster.schedule_invoke(1.0, 0, RList.append("a"))
+    cluster.run_until_quiescent()
+    history = cluster.build_history()
+    execution = build_abstract_execution(history)
+    assert check_fec(execution, "weak").ok
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.broadcast.failure_detector import OmegaFailureDetector
+from repro.broadcast.paxos import PaxosTOB
+from repro.broadcast.anti_entropy import AntiEntropy
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.broadcast.sequencer import SequencerTOB
+from repro.core.config import BayouConfig
+from repro.core.modified_replica import ModifiedBayouReplica
+from repro.core.replica import BayouReplica
+from repro.core.request import Dot, Req
+from repro.datatypes.base import DataType, Operation
+from repro.framework.history import PENDING, STRONG, WEAK, History, HistoryEvent
+from repro.net.faults import MessageFilter
+from repro.net.network import FixedLatency, Network, UniformLatency
+from repro.net.node import RoutingNode
+from repro.net.partition import PartitionSchedule
+from repro.sim.clock import DriftingClock
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SeededRngRegistry
+from repro.sim.trace import TraceLog
+
+#: Protocol selector values.
+ORIGINAL = "original"
+MODIFIED = "modified"
+
+
+@dataclass
+class _StagedEvent:
+    """Mutable per-request record, frozen into a HistoryEvent at the end."""
+
+    dot: Dot
+    session: int
+    op: Operation
+    level: str
+    timestamp: float
+    invoke_time: float
+    readonly: bool
+    tob_cast: bool
+    rval: Any = PENDING
+    return_time: Optional[float] = None
+    perceived: Optional[Tuple[Dot, ...]] = None
+    stable: bool = False
+    responded: bool = False
+    seq: int = 0
+
+
+class BayouCluster:
+    """A simulated deployment of the (original or modified) Bayou protocol."""
+
+    def __init__(
+        self,
+        datatype: DataType,
+        config: Optional[BayouConfig] = None,
+        *,
+        protocol: str = ORIGINAL,
+        partitions: Optional[PartitionSchedule] = None,
+        filters: Optional[MessageFilter] = None,
+    ) -> None:
+        self.config = config or BayouConfig()
+        self.config.validate()
+        if protocol not in (ORIGINAL, MODIFIED):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.protocol = protocol
+        self.datatype = datatype
+
+        self.sim = Simulator()
+        self.trace = TraceLog()
+        self.rngs = SeededRngRegistry(self.config.seed)
+        self.partitions = partitions or PartitionSchedule(self.config.n_replicas)
+        self.filters = filters or MessageFilter()
+        if self.config.latency_jitter > 0:
+            latency = UniformLatency(
+                self.config.message_delay,
+                self.config.message_delay + self.config.latency_jitter,
+                self.rngs,
+            )
+        else:
+            latency = FixedLatency(self.config.message_delay)
+        self.network = Network(
+            self.sim,
+            self.config.n_replicas,
+            latency=latency,
+            partitions=self.partitions,
+            filters=self.filters,
+            trace=self.trace,
+        )
+
+        self.nodes: List[RoutingNode] = []
+        self.clocks: List[DriftingClock] = []
+        self.replicas: List[BayouReplica] = []
+        self.omegas: List[OmegaFailureDetector] = []
+        self._staged: Dict[Dot, _StagedEvent] = {}
+        self._sessions: Dict[Dot, Any] = {}
+        self._invocation_seq = 0
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        config = self.config
+        replica_class = (
+            ModifiedBayouReplica if self.protocol == MODIFIED else BayouReplica
+        )
+        for pid in range(config.n_replicas):
+            node = RoutingNode(self.sim, self.network, pid, name=f"R{pid}")
+            clock = DriftingClock(
+                self.sim,
+                offset=config.clock_offsets.get(pid, 0.0),
+                rate=config.clock_rates.get(pid, 1.0),
+            )
+            replica = replica_class(
+                node,
+                clock,
+                self.datatype,
+                config,
+                trace=self.trace,
+                responder=self._make_responder(pid),
+            )
+            if config.dissemination == "anti_entropy":
+                replica.rb = AntiEntropy(
+                    node,
+                    replica.on_rb_deliver,
+                    sync_interval=config.ae_sync_interval,
+                    trace=self.trace,
+                )
+            else:
+                replica.rb = ReliableBroadcast(
+                    node, replica.on_rb_deliver, trace=self.trace
+                )
+            if config.tob_engine == "sequencer":
+                replica.tob = SequencerTOB(
+                    node,
+                    replica.on_tob_deliver,
+                    sequencer_pid=config.sequencer_pid,
+                    trace=self.trace,
+                )
+            else:
+                omega = OmegaFailureDetector(
+                    node,
+                    heartbeat_interval=config.heartbeat_interval,
+                    timeout=config.failure_timeout,
+                    trace=self.trace,
+                )
+                self.omegas.append(omega)
+                replica.tob = PaxosTOB(
+                    node,
+                    replica.on_tob_deliver,
+                    omega,
+                    retry_interval=config.paxos_retry_interval,
+                    trace=self.trace,
+                )
+                self.sim.schedule(0.0, omega.start, label=f"omega start {pid}")
+            self.nodes.append(node)
+            self.clocks.append(clock)
+            self.replicas.append(replica)
+
+    def _make_responder(self, pid: int):
+        def responder(
+            req: Req, response: Any, perceived: Tuple[Dot, ...], stable: bool
+        ) -> None:
+            staged = self._staged.get(req.dot)
+            if staged is not None and not staged.responded:
+                staged.responded = True
+                staged.rval = response
+                staged.return_time = self.sim.now
+                staged.perceived = perceived
+                staged.stable = stable
+            session = self._sessions.pop(req.dot, None)
+            if session is not None:
+                session._handle_response(req, response)
+
+        return responder
+
+    # ------------------------------------------------------------------
+    # Invocation API
+    # ------------------------------------------------------------------
+    def invoke(
+        self,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool = False,
+        _session: Any = None,
+    ) -> Req:
+        """Invoke ``op`` on replica ``pid`` right now; returns the request."""
+        replica = self.replicas[pid]
+        invoke_time = self.sim.now
+        # Stage the history record *before* invoking: the modified protocol
+        # responds to weak operations synchronously inside invoke().
+        placeholder_dot = (pid, replica.curr_event_no + 1)
+        self._invocation_seq += 1
+        staged = _StagedEvent(
+            dot=placeholder_dot,
+            session=pid,
+            op=op,
+            level=STRONG if strong else WEAK,
+            timestamp=0.0,  # patched below once the request exists
+            invoke_time=invoke_time,
+            readonly=self.datatype.is_readonly(op),
+            tob_cast=True,  # patched below for modified-protocol weak reads
+            seq=self._invocation_seq,
+        )
+        self._staged[placeholder_dot] = staged
+        if _session is not None:
+            self._sessions[placeholder_dot] = _session
+        req = replica.invoke(op, strong=strong)
+        assert req.dot == placeholder_dot, "event numbering out of sync"
+        staged.timestamp = req.timestamp
+        staged.tob_cast = self._was_tob_cast(req)
+        return req
+
+    def _was_tob_cast(self, req: Req) -> bool:
+        """Whether the request was disseminated through TOB at all."""
+        if self.protocol == MODIFIED and not req.strong:
+            return not self.datatype.is_readonly(req.op)
+        return True
+
+    def schedule_invoke(
+        self, at: float, pid: int, op: Operation, *, strong: bool = False
+    ) -> None:
+        """Plan an invocation at absolute simulated time ``at``."""
+        self.sim.schedule_at(
+            at,
+            lambda: self.invoke(pid, op, strong=strong),
+            label=f"invoke R{pid} {op}",
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation (optionally up to an absolute time)."""
+        self.sim.run(until=until)
+
+    def run_until_quiescent(self) -> float:
+        """Run until no events remain (natural with the sequencer engine)."""
+        return self.sim.run_until_quiescent()
+
+    def run_until_stable(
+        self, *, max_time: float = 100_000.0, check_every: float = 50.0
+    ) -> bool:
+        """Run until converged-and-idle or ``max_time`` (for Paxos runs).
+
+        Returns True if the cluster converged: every non-pending staged
+        request answered, replicas agree on ``committed · tentative`` and
+        have empty backlogs.
+        """
+        while self.sim.now < max_time:
+            self.sim.run(until=self.sim.now + check_every)
+            if self.converged() and self.sim.pending_events == 0:
+                return True
+            if self.converged() and self._only_periodic_work_left():
+                return True
+        return self.converged()
+
+    def _only_periodic_work_left(self) -> bool:
+        """Heuristic: all client requests answered and replicas drained."""
+        unanswered = [
+            staged
+            for staged in self._staged.values()
+            if not staged.responded
+        ]
+        backlogs = any(replica.backlog for replica in self.replicas)
+        return not unanswered and not backlogs
+
+    def shutdown(self) -> None:
+        """Stop all periodic activity so in-flight events can drain."""
+        for replica in self.replicas:
+            replica.stop()
+            if replica.tob is not None:
+                replica.tob.stop()
+            if isinstance(replica.rb, AntiEntropy):
+                replica.rb.stop()
+        for omega in self.omegas:
+            omega.stop()
+
+    # ------------------------------------------------------------------
+    # Probing and history construction
+    # ------------------------------------------------------------------
+    def add_horizon_probes(
+        self,
+        make_op: Callable[[], Operation],
+        *,
+        spacing: Optional[float] = None,
+    ) -> float:
+        """Mark the stabilisation horizon and issue one probe per replica.
+
+        The probes are weak operations invoked after the horizon; the EV and
+        CPar finite-run checks quantify over them. Probes are spaced widely
+        enough that clock *offsets* cannot reverse their timestamp order
+        (the paper's visibility rule for never-broadcast read-only events
+        compares request timestamps). Runs with differing clock *rates*
+        should not rely on EV probes. Returns the horizon time.
+        """
+        horizon = self.sim.now
+        self._horizon = horizon
+        if spacing is None:
+            offsets = [
+                self.config.clock_offsets.get(pid, 0.0)
+                for pid in range(self.config.n_replicas)
+            ]
+            spacing = 1.0 + 2.0 * (max(offsets) - min(offsets))
+        for pid in range(self.config.n_replicas):
+            self.schedule_invoke(horizon + 1.0 + pid * spacing, pid, make_op())
+        return horizon
+
+    def build_history(
+        self, *, horizon: Optional[float] = None, well_formed: bool = True
+    ) -> History:
+        """Freeze the staged records into a checkable History."""
+        tob_order = self._consistent_tob_order()
+        tob_index = {dot: index for index, dot in enumerate(tob_order)}
+        events = []
+        for staged in self._staged.values():
+            events.append(
+                HistoryEvent(
+                    eid=staged.dot,
+                    session=staged.session,
+                    op=staged.op,
+                    level=staged.level,
+                    invoke_time=staged.invoke_time,
+                    return_time=staged.return_time,
+                    rval=staged.rval if staged.responded else PENDING,
+                    timestamp=staged.timestamp,
+                    readonly=staged.readonly,
+                    tob_cast=staged.tob_cast,
+                    tob_no=tob_index.get(staged.dot),
+                    perceived_trace=staged.perceived,
+                    stable=staged.stable,
+                    seq=staged.seq,
+                )
+            )
+        effective_horizon = horizon if horizon is not None else getattr(
+            self, "_horizon", None
+        )
+        return History(
+            events,
+            self.datatype,
+            horizon=effective_horizon,
+            well_formed=well_formed,
+        )
+
+    def _consistent_tob_order(self) -> List[Dot]:
+        """The TOB delivery order; asserts replicas saw consistent prefixes."""
+        sequences = [
+            replica.tob.delivered_sequence
+            for replica in self.replicas
+            if replica.tob is not None
+        ]
+        longest: List[Dot] = max(sequences, key=len, default=[])
+        for sequence in sequences:
+            if sequence != longest[: len(sequence)]:
+                raise AssertionError(
+                    "TOB delivered inconsistent orders: "
+                    f"{sequence} vs {longest}"
+                )
+        return longest
+
+    # ------------------------------------------------------------------
+    # Convergence diagnostics
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """All replicas agree on the order and have fully executed it."""
+        orders = [
+            [r.dot for r in replica.current_order()] for replica in self.replicas
+        ]
+        if any(order != orders[0] for order in orders[1:]):
+            return False
+        if any(replica.backlog for replica in self.replicas):
+            return False
+        snapshots = [replica.state.snapshot() for replica in self.replicas]
+        return all(snapshot == snapshots[0] for snapshot in snapshots[1:])
+
+    def convergence_report(self) -> Dict[str, Any]:
+        """Structured convergence diagnostics for experiment reports."""
+        return {
+            "converged": self.converged(),
+            "committed_lengths": [len(r.committed) for r in self.replicas],
+            "tentative_lengths": [len(r.tentative) for r in self.replicas],
+            "backlogs": [r.backlog for r in self.replicas],
+            "executions": [r.execution_count for r in self.replicas],
+            "rollbacks": [r.rollback_count for r in self.replicas],
+        }

@@ -1,0 +1,77 @@
+"""Configuration for Bayou clusters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class BayouConfig:
+    """Tunable parameters of a simulated Bayou deployment.
+
+    Attributes
+    ----------
+    n_replicas:
+        Number of replicas.
+    exec_delay:
+        Simulated cost of one internal step (executing or rolling back one
+        request). Per-replica overrides model the paper's "slow replica" Rs
+        from Section 2.3.
+    message_delay:
+        Default one-way network latency (see also ``latency_jitter``).
+    latency_jitter:
+        If positive, latency is uniform in ``[message_delay,
+        message_delay + latency_jitter]``.
+    tob_engine:
+        ``"sequencer"`` (default) or ``"paxos"``.
+    dissemination:
+        Weak-update dissemination: ``"rb"`` (the paper's Reliable
+        Broadcast, default) or ``"anti_entropy"`` (the original Bayou's
+        pairwise sessions, syncing every ``ae_sync_interval``).
+    sequencer_pid:
+        The fixed sequencer for the sequencer engine.
+    clock_offsets / clock_rates:
+        Per-replica local-clock parameters (Section 2.3's slowed clock).
+    optimize_tail_execution:
+        Modified protocol only (footnote 8): skip the immediate rollback when
+        the freshly executed weak request lands at the very tail of the
+        current order anyway.
+    seed:
+        Master seed for all random streams.
+    """
+
+    n_replicas: int = 3
+    exec_delay: float = 0.01
+    exec_delay_overrides: Dict[int, float] = field(default_factory=dict)
+    message_delay: float = 1.0
+    latency_jitter: float = 0.0
+    tob_engine: str = "sequencer"
+    sequencer_pid: int = 0
+    dissemination: str = "rb"
+    ae_sync_interval: float = 2.0
+    heartbeat_interval: float = 5.0
+    failure_timeout: float = 20.0
+    paxos_retry_interval: float = 15.0
+    retransmit_interval: Optional[float] = None
+    clock_offsets: Dict[int, float] = field(default_factory=dict)
+    clock_rates: Dict[int, float] = field(default_factory=dict)
+    optimize_tail_execution: bool = False
+    seed: int = 0
+
+    def exec_delay_for(self, pid: int) -> float:
+        """The per-step processing delay for replica ``pid``."""
+        return self.exec_delay_overrides.get(pid, self.exec_delay)
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.n_replicas <= 0:
+            raise ValueError("n_replicas must be positive")
+        if self.tob_engine not in ("sequencer", "paxos"):
+            raise ValueError(f"unknown tob_engine {self.tob_engine!r}")
+        if self.dissemination not in ("rb", "anti_entropy"):
+            raise ValueError(f"unknown dissemination {self.dissemination!r}")
+        if not (0 <= self.sequencer_pid < self.n_replicas):
+            raise ValueError("sequencer_pid out of range")
+        if self.exec_delay < 0 or self.message_delay < 0 or self.latency_jitter < 0:
+            raise ValueError("delays must be non-negative")

@@ -1,0 +1,98 @@
+"""The modified Bayou replica — Algorithm 2 and Appendix A.1.
+
+Three changes relative to Algorithm 1, each with a stated purpose:
+
+1. **Strong operations are broadcast through TOB only** (never RB, never
+   placed on the tentative list), so any operation that observes a strong
+   operation observes it in its final, committed position — the first half
+   of the circular-causality fix.
+2. **Weak operations execute immediately on the current state at invocation
+   and are then rolled back**; the response is returned from that immediate
+   execution. No concurrent operation can slip in front of the first
+   (response-generating) execution — the second half of the fix — and weak
+   operations become *bounded wait-free* (Appendix A.1.2), at the price of
+   losing session guarantees such as read-your-writes.
+3. **Weak read-only operations run locally only** (invisible reads): they
+   are neither RB- nor TOB-cast and never enter the tentative list.
+
+Footnote 8's optimisation — skip the immediate rollback when the request
+lands at the tail of the current order and the engine is idle — is
+available via ``BayouConfig.optimize_tail_execution``.
+"""
+
+from __future__ import annotations
+
+from repro.core.replica import BayouReplica
+from repro.core.request import Req
+from repro.datatypes.base import Operation
+
+
+class ModifiedBayouReplica(BayouReplica):
+    """A Bayou replica running Algorithm 2 (circular-causality-free)."""
+
+    def invoke(self, op: Operation, strong: bool = False) -> Req:
+        """Submit an operation per Algorithm 2."""
+        assert self.rb is not None and self.tob is not None, "endpoints not attached"
+        self.curr_event_no += 1
+        req = Req(
+            timestamp=self.clock.now(),
+            dot=(self.pid, self.curr_event_no),
+            strong=strong,
+            op=op,
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now,
+                self.pid,
+                "bayou.invoke",
+                dot=req.dot,
+                op=str(op),
+            )
+        if strong:
+            # Lines 13-14: await the committed execution; TOB only.
+            self._awaiting[req.dot] = self._no_response_sentinel()
+            self.tob.tob_cast(req.dot, req)
+            return req
+
+        # Lines 4-7: immediate execution on the current state, immediate
+        # (tentative) response, then rollback.
+        perceived = self.current_trace_dots()
+        response = self.state.execute(req)
+        self.execution_count += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.execute", dot=req.dot
+            )
+        self._respond(req, response, perceived, stable=False)
+
+        readonly = self.datatype.is_readonly(op)
+        if not readonly and self._may_keep_execution(req):
+            # Footnote 8: the request would be re-executed at the very same
+            # position; keep it and skip the rollback/re-execution churn.
+            self.executed.append(req)
+        else:
+            self.state.rollback(req)
+            self.rollback_count += 1
+
+        if not readonly:
+            # Lines 8-11: disseminate and speculate only updating requests.
+            self.rb.rb_cast(req.dot, req)
+            self.tob.tob_cast(req.dot, req)
+            self.adjust_tentative_order(req)
+            self._arm_retransmit()
+        return req
+
+    def _may_keep_execution(self, req: Req) -> bool:
+        """True when the immediate execution already sits at the tail."""
+        if not self.config.optimize_tail_execution:
+            return False
+        if self.to_be_rolled_back or self.to_be_executed:
+            return False
+        return all(r < req for r in self.tentative)
+
+    @staticmethod
+    def _no_response_sentinel():
+        # Reuse the parent's private sentinel without re-exporting it.
+        from repro.core.replica import _NO_RESPONSE
+
+        return _NO_RESPONSE

@@ -1,0 +1,294 @@
+"""The Bayou replica — Algorithm 1 of the paper.
+
+Every structure and handler below maps line-for-line onto the pseudocode:
+
+- ``invoke`` (lines 9–15): stamp the operation with the local clock and a
+  fresh dot, RB-cast and TOB-cast it, simulate immediate local RB-delivery
+  by inserting it into the tentative order, and register it as awaiting a
+  response.
+- ``adjust_tentative_order`` (lines 16–21): keep ``tentative`` sorted by
+  ``(timestamp, dot)`` and recompute the execution schedule.
+- ``on_rb_deliver`` (lines 22–26) and ``on_tob_deliver`` (lines 27–34).
+- ``adjust_execution`` (lines 35–40): diff the executed prefix against the
+  new order; everything after the longest common prefix is rolled back (in
+  reverse) and re-executed.
+- the two ``upon`` internal events (lines 41–55) run as *schedulable
+  simulation steps* with a per-replica processing delay, which is what makes
+  the paper's "local execution is for some reason delayed" (Figure 1) and
+  the slow replica of Section 2.3 expressible.
+
+Responses: weak operations return at their first execution (line 50); strong
+operations return once executed *and* committed (line 49 or lines 32–33).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.broadcast.total_order import TotalOrderBroadcast
+from repro.core.config import BayouConfig
+from repro.core.request import Dot, Req
+from repro.core.state_object import StateObject
+from repro.datatypes.base import DataType, Operation
+from repro.net.node import RoutingNode
+from repro.sim.clock import DriftingClock
+from repro.sim.trace import TraceLog
+
+#: responder(req, response, perceived_trace, stable)
+Responder = Callable[[Req, Any, Tuple[Dot, ...], bool], None]
+
+#: Sentinel for "awaiting, no response computed yet" (⊥ in the paper).
+_NO_RESPONSE = object()
+
+
+class BayouReplica:
+    """One replica of the (original) Bayou protocol."""
+
+    def __init__(
+        self,
+        node: RoutingNode,
+        clock: DriftingClock,
+        datatype: DataType,
+        config: BayouConfig,
+        *,
+        trace: Optional[TraceLog] = None,
+        responder: Optional[Responder] = None,
+    ) -> None:
+        self.node = node
+        self.pid = node.pid
+        self.clock = clock
+        self.datatype = datatype
+        self.config = config
+        self.trace = trace
+        self.responder = responder
+
+        self.state = StateObject(datatype)
+        self.curr_event_no = 0
+        self.committed: List[Req] = []
+        self.tentative: List[Req] = []
+        self.executed: List[Req] = []
+        self.to_be_executed: List[Req] = []
+        self.to_be_rolled_back: List[Req] = []
+        #: dot -> (response, trace at computation); _NO_RESPONSE if not yet.
+        self._awaiting: Dict[Dot, Any] = {}
+        self._committed_dots: Set[Dot] = set()
+        self._tentative_dots: Set[Dot] = set()
+
+        # Broadcast endpoints are attached by the cluster (they need our
+        # delivery callbacks, which exist only once we do).
+        self.rb: Optional[ReliableBroadcast] = None
+        self.tob: Optional[TotalOrderBroadcast] = None
+
+        # Engine bookkeeping.
+        self._step_scheduled = False
+        self._retransmit_armed = False
+        self._stopped = False
+
+        # Metrics.
+        self.execution_count = 0
+        self.rollback_count = 0
+
+    # ------------------------------------------------------------------
+    # Client API (Algorithm 1, lines 9-15)
+    # ------------------------------------------------------------------
+    def invoke(self, op: Operation, strong: bool = False) -> Req:
+        """Submit an operation; returns the request identifying it."""
+        assert self.rb is not None and self.tob is not None, "endpoints not attached"
+        self.curr_event_no += 1
+        req = Req(
+            timestamp=self.clock.now(),
+            dot=(self.pid, self.curr_event_no),
+            strong=strong,
+            op=op,
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.invoke", dot=req.dot, op=str(op)
+            )
+        self.rb.rb_cast(req.dot, req)
+        self.tob.tob_cast(req.dot, req)
+        self.adjust_tentative_order(req)
+        self._awaiting[req.dot] = _NO_RESPONSE
+        self._arm_retransmit()
+        return req
+
+    # ------------------------------------------------------------------
+    # Ordering (lines 16-21)
+    # ------------------------------------------------------------------
+    def adjust_tentative_order(self, req: Req) -> None:
+        """Insert ``req`` into the timestamp-sorted tentative list."""
+        previous = [r for r in self.tentative if r < req]
+        subsequent = [r for r in self.tentative if req < r]
+        self.tentative = previous + [req] + subsequent
+        self._tentative_dots.add(req.dot)
+        self.adjust_execution(self.committed + self.tentative)
+
+    # ------------------------------------------------------------------
+    # Deliveries (lines 22-34)
+    # ------------------------------------------------------------------
+    def on_rb_deliver(self, key: Dot, req: Req) -> None:
+        """RB-delivery handler (lines 22-26)."""
+        if req.dot[0] == self.pid:
+            return  # issued locally; tentative insertion happened at invoke
+        if req.dot in self._committed_dots or req.dot in self._tentative_dots:
+            return  # already known (e.g. TOB delivered it first)
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.rb_deliver", dot=req.dot
+            )
+        self.adjust_tentative_order(req)
+
+    def on_tob_deliver(self, key: Dot, req: Req) -> None:
+        """TOB-delivery handler (lines 27-34)."""
+        if req.dot in self._committed_dots:
+            return  # defensive: engines deliver each key once
+        self.committed.append(req)
+        self._committed_dots.add(req.dot)
+        if req.dot in self._tentative_dots:
+            self.tentative = [r for r in self.tentative if r.dot != req.dot]
+            self._tentative_dots.discard(req.dot)
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.tob_deliver", dot=req.dot
+            )
+        self.adjust_execution(self.committed + self.tentative)
+        if req.dot in self._awaiting and any(r.dot == req.dot for r in self.executed):
+            stored = self._awaiting.pop(req.dot)
+            assert stored is not _NO_RESPONSE, "executed request lacks a response"
+            response, perceived = stored
+            self._respond(req, response, perceived, stable=True)
+
+    # ------------------------------------------------------------------
+    # Execution scheduling (lines 35-40)
+    # ------------------------------------------------------------------
+    def adjust_execution(self, new_order: List[Req]) -> None:
+        """Diff ``executed`` against ``new_order`` (lines 35-40)."""
+        in_order: List[Req] = []
+        for executed_req, ordered_req in zip(self.executed, new_order):
+            if executed_req.dot != ordered_req.dot:
+                break
+            in_order.append(executed_req)
+        out_of_order = self.executed[len(in_order):]
+        self.executed = in_order
+        executed_dots = {r.dot for r in self.executed}
+        self.to_be_executed = [r for r in new_order if r.dot not in executed_dots]
+        self.to_be_rolled_back = self.to_be_rolled_back + list(reversed(out_of_order))
+        self._schedule_step()
+
+    # ------------------------------------------------------------------
+    # Internal events (lines 41-55), as simulation steps
+    # ------------------------------------------------------------------
+    def _schedule_step(self) -> None:
+        if self._step_scheduled or self._stopped:
+            return
+        if not self.to_be_rolled_back and not self.to_be_executed:
+            return
+        self._step_scheduled = True
+        self.node.set_timer(
+            self.config.exec_delay_for(self.pid),
+            self._step,
+            label=f"bayou.step r{self.pid}",
+        )
+
+    def _step(self) -> None:
+        self._step_scheduled = False
+        if self.to_be_rolled_back:
+            head = self.to_be_rolled_back.pop(0)
+            self.state.rollback(head)
+            self.rollback_count += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.sim.now, self.pid, "bayou.rollback", dot=head.dot
+                )
+        elif self.to_be_executed:
+            head = self.to_be_executed.pop(0)
+            self._execute_one(head)
+        self._schedule_step()
+
+    def _execute_one(self, head: Req) -> None:
+        """Lines 46-55: execute one request and maybe respond."""
+        perceived = self.current_trace_dots()
+        response = self.state.execute(head)
+        self.execution_count += 1
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.execute", dot=head.dot
+            )
+        if head.dot in self._awaiting:
+            if not head.strong or head.dot in self._committed_dots:
+                del self._awaiting[head.dot]
+                self._respond(
+                    head,
+                    response,
+                    perceived,
+                    stable=head.dot in self._committed_dots,
+                )
+            else:
+                self._awaiting[head.dot] = (response, perceived)
+        self.executed.append(head)
+
+    def _respond(
+        self, req: Req, response: Any, perceived: Tuple[Dot, ...], stable: bool
+    ) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now,
+                self.pid,
+                "bayou.respond",
+                dot=req.dot,
+                response=response,
+                stable=stable,
+            )
+        if self.responder is not None:
+            self.responder(req, response, perceived, stable)
+
+    # ------------------------------------------------------------------
+    # Introspection and liveness helpers
+    # ------------------------------------------------------------------
+    def current_trace_dots(self) -> Tuple[Dot, ...]:
+        """The current trace α = executed · reverse(toBeRolledBack), as dots.
+
+        This is ``exec(e)`` from the proof of Theorem 2 when captured at the
+        instant a response is computed.
+        """
+        return tuple(
+            [r.dot for r in self.executed]
+            + [r.dot for r in reversed(self.to_be_rolled_back)]
+        )
+
+    def current_order(self) -> List[Req]:
+        """The replica's current ``committed · tentative`` order."""
+        return self.committed + self.tentative
+
+    @property
+    def backlog(self) -> int:
+        """Requests scheduled but not yet (re-)executed — Section 2.3's lag."""
+        return len(self.to_be_executed) + len(self.to_be_rolled_back)
+
+    def stop(self) -> None:
+        """Stop scheduling internal steps and retransmissions (shutdown)."""
+        self._stopped = True
+
+    def _arm_retransmit(self) -> None:
+        """Periodically re-TOB-cast tentative requests (TOB requirement 4).
+
+        Only armed when ``config.retransmit_interval`` is set; the network
+        already buffers messages across partitions, so retransmission is
+        needed only in lossy/filtered scenarios.
+        """
+        interval = self.config.retransmit_interval
+        if interval is None or self._retransmit_armed or self._stopped:
+            return
+        self._retransmit_armed = True
+
+        def tick() -> None:
+            self._retransmit_armed = False
+            if self._stopped or not self.tentative:
+                return
+            assert self.tob is not None
+            for req in self.tentative:
+                self.tob.tob_cast(req.dot, req)
+            self._arm_retransmit()
+
+        self.node.set_timer(interval, tick, label=f"bayou.retransmit r{self.pid}")

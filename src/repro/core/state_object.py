@@ -1,0 +1,99 @@
+"""StateObject — Algorithm 3 of the paper.
+
+Encapsulates the replica's copy of the replicated object as a register map
+``db`` plus an ``undoLog``. Executing a request records, per register first
+written by that request, the *previous* value; rolling the request back
+restores those values. Requests must be rolled back in reverse execution
+order (the replica's engine guarantees this; the object enforces it).
+
+The *current trace* of the state is the sequence of executed-and-not-rolled-
+back requests; the object's responses are always consistent with a
+sequential execution of the trace (verified by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional
+
+from repro.core.request import Req
+from repro.datatypes.base import DataType, DbView
+
+
+class RollbackError(RuntimeError):
+    """Raised on out-of-order or unknown rollbacks."""
+
+
+class _Absent:
+    """Sentinel distinguishing 'register never written' from 'holds None'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<absent>"
+
+
+_ABSENT = _Absent()
+
+
+class _UndoTrackingView(DbView):
+    """A DbView that records the pre-image of every first write."""
+
+    def __init__(self, db: Dict[Hashable, Any]) -> None:
+        self._db = db
+        self.undo_map: Dict[Hashable, Any] = {}
+
+    def read(self, register_id: Hashable) -> Any:
+        return self._db.get(register_id)
+
+    def write(self, register_id: Hashable, value: Any) -> None:
+        if register_id not in self.undo_map:
+            self.undo_map[register_id] = self._db.get(register_id, _ABSENT)
+        self._db[register_id] = value
+
+
+class StateObject:
+    """Executable, rollback-able state of a replicated data type."""
+
+    def __init__(self, datatype: DataType) -> None:
+        self.datatype = datatype
+        self.db: Dict[Hashable, Any] = {}
+        self._undo_log: Dict[Any, Dict[Hashable, Any]] = {}
+        #: Execution-ordered request dots with live undo entries; rollbacks
+        #: must happen in reverse of this order.
+        self._undo_order: List[Any] = []
+
+    def execute(self, req: Req) -> Any:
+        """Execute ``req`` against the db, logging undo information."""
+        view = _UndoTrackingView(self.db)
+        response = self.datatype.execute(req.op, view)
+        self._undo_log[req.dot] = view.undo_map
+        self._undo_order.append(req.dot)
+        return response
+
+    def rollback(self, req: Req) -> None:
+        """Undo ``req``; it must be the most recently executed live request."""
+        if req.dot not in self._undo_log:
+            raise RollbackError(f"no undo entry for {req!r}")
+        if not self._undo_order or self._undo_order[-1] != req.dot:
+            raise RollbackError(
+                f"out-of-order rollback of {req!r}; "
+                f"expected {self._undo_order[-1] if self._undo_order else None!r}"
+            )
+        undo_map = self._undo_log.pop(req.dot)
+        self._undo_order.pop()
+        for register_id, previous in undo_map.items():
+            if previous is _ABSENT:
+                self.db.pop(register_id, None)
+            else:
+                self.db[register_id] = previous
+
+    def peek(self, register_id: Hashable) -> Optional[Any]:
+        """Read a register directly (test/diagnostic helper)."""
+        return self.db.get(register_id)
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        """A copy of the current register map (for convergence checks)."""
+        return dict(self.db)
+
+    @property
+    def live_requests(self) -> List[Any]:
+        """Dots of executed-and-not-rolled-back requests, in execution order."""
+        return list(self._undo_order)

@@ -1,0 +1,39 @@
+"""Replicated data types (the specification ``F`` from Section 3.4).
+
+Each data type provides:
+
+- **operations** (constructed via classmethods, e.g. ``RList.append("x")``),
+- an **instruction-level executor** ``execute(op, view)`` that expresses the
+  operation as a composition of register reads/writes plus local computation
+  (the model Algorithm 3 of the paper assumes), and
+- a **sequential specification** ``spec_return(op, preceding)`` used by the
+  formal-framework checkers to compute the correct return value of ``op``
+  after an arbitrary sequence of preceding operations.
+
+Because both the live replicas and the checkers funnel through the same
+``execute`` code, the checker verifies the *protocol* (ordering, rollback,
+re-execution), not a redundant re-implementation of the data type.
+"""
+
+from repro.datatypes.base import DataType, DbView, Operation, PlainDb
+from repro.datatypes.bank import BankAccounts
+from repro.datatypes.counter import Counter
+from repro.datatypes.kvstore import KVStore
+from repro.datatypes.orset import SetType
+from repro.datatypes.register import Register
+from repro.datatypes.scheduler import MeetingScheduler
+from repro.datatypes.rlist import RList
+
+__all__ = [
+    "BankAccounts",
+    "Counter",
+    "DataType",
+    "DbView",
+    "KVStore",
+    "MeetingScheduler",
+    "Operation",
+    "PlainDb",
+    "Register",
+    "RList",
+    "SetType",
+]

@@ -1,0 +1,127 @@
+"""Base classes for replicated data types.
+
+The paper models every request as an arbitrary deterministic transaction
+that can be decomposed into register reads and writes plus local computation
+(Appendix A.2.2). We mirror that: an :class:`Operation` names a transaction
+of a :class:`DataType`; executing it means calling ``execute(op, view)``
+where ``view`` exposes ``read(register_id)`` / ``write(register_id, value)``.
+
+The *same* ``execute`` implementation serves three purposes:
+
+1. live execution inside :class:`repro.core.state_object.StateObject`
+   (which wraps the view to build undo logs),
+2. the sequential specification ``F(op, context)`` used by the correctness
+   checkers (replay the context's operations on a fresh
+   :class:`PlainDb` in the context's order, then execute ``op``), and
+3. plain single-copy execution in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An invocable transaction: a name plus arguments.
+
+    Operations are immutable and hashable so they can be carried inside
+    request messages, used as dictionary keys and compared structurally.
+    """
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+class DbView:
+    """The read/write interface an operation executes against."""
+
+    def read(self, register_id: Hashable) -> Any:
+        """Return the current value of a register (None if never written)."""
+        raise NotImplementedError
+
+    def write(self, register_id: Hashable, value: Any) -> None:
+        """Overwrite a register."""
+        raise NotImplementedError
+
+
+class PlainDb(DbView):
+    """A direct, in-memory register map (no undo tracking)."""
+
+    def __init__(self, initial: Optional[Dict[Hashable, Any]] = None) -> None:
+        self.data: Dict[Hashable, Any] = dict(initial or {})
+
+    def read(self, register_id: Hashable) -> Any:
+        return self.data.get(register_id)
+
+    def write(self, register_id: Hashable, value: Any) -> None:
+        self.data[register_id] = value
+
+
+class UnknownOperationError(ValueError):
+    """Raised when a data type is asked to execute an operation it lacks."""
+
+
+class DataType:
+    """Base class for replicated data types (``F`` in the paper).
+
+    Subclasses define ``READONLY`` (names of read-only operations, per the
+    Section 3.4 requirement that read-only operations do not influence other
+    operations' return values) and implement :meth:`execute`.
+    """
+
+    #: Names of the read-only operations of this type.
+    READONLY: frozenset = frozenset()
+
+    #: Human-readable type name (defaults to the class name).
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+    def execute(self, op: Operation, view: DbView) -> Any:
+        """Run ``op`` against ``view``; return the operation's response."""
+        raise NotImplementedError
+
+    def is_readonly(self, op: Operation) -> bool:
+        """True if ``op`` is a read-only operation of this type."""
+        return op.name in self.READONLY
+
+    def operations(self) -> frozenset:
+        """The full set of operation names (override for validation)."""
+        return self.READONLY
+
+    # ------------------------------------------------------------------
+    # Sequential specification
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        ops: Iterable[Operation],
+        db: Optional[PlainDb] = None,
+    ) -> PlainDb:
+        """Execute ``ops`` in order on a fresh (or given) database."""
+        db = db if db is not None else PlainDb()
+        for op in ops:
+            self.execute(op, db)
+        return db
+
+    def spec_return(
+        self,
+        op: Operation,
+        preceding: Sequence[Operation],
+    ) -> Any:
+        """The return value of ``op`` after ``preceding`` (the spec ``F``).
+
+        This is the sequential specification used to *check* executions:
+        ``F(op, C)`` where the context ``C`` is linearised into the sequence
+        ``preceding`` by the (perceived) arbitration order. Read-only
+        operations in ``preceding`` may be included or excluded freely — by
+        the Section 3.4 requirement they cannot change the result, which the
+        property tests verify for every data type.
+        """
+        db = self.replay(preceding)
+        return self.execute(op, db)

@@ -1,0 +1,84 @@
+"""A key-value store with ``putIfAbsent``.
+
+The paper's Section 1 names ``putIfAbsent`` as the canonical "relatively
+basic operation" whose support requires solving distributed consensus: its
+return value (did *I* create the key?) is order-sensitive and cannot be
+resolved convergently by timestamps alone. Issued as a *strong* operation it
+is the motivating workload for mixing consistency levels; the meeting
+scheduler example builds directly on it.
+
+Each key lives in its own register, so the undo log of a transaction only
+captures the keys it touched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+
+
+def _reg(key: Hashable) -> str:
+    return f"kv:{key!r}"
+
+
+#: Sentinel distinguishing "key absent" from "key bound to None".
+_ABSENT = None
+
+
+class KVStore(DataType):
+    """A replicated map with conditional updates."""
+
+    READONLY = frozenset({"get", "contains"})
+
+    @staticmethod
+    def put(key: Hashable, value: Any) -> Operation:
+        """Bind ``key`` to ``value``; returns the previous value (or None)."""
+        return Operation("put", (key, value))
+
+    @staticmethod
+    def get(key: Hashable) -> Operation:
+        """Return the value bound to ``key`` (or None)."""
+        return Operation("get", (key,))
+
+    @staticmethod
+    def contains(key: Hashable) -> Operation:
+        """Return True if ``key`` is bound."""
+        return Operation("contains", (key,))
+
+    @staticmethod
+    def put_if_absent(key: Hashable, value: Any) -> Operation:
+        """Bind ``key`` only if absent; returns True if this call bound it."""
+        return Operation("put_if_absent", (key, value))
+
+    @staticmethod
+    def remove(key: Hashable) -> Operation:
+        """Unbind ``key``; returns the removed value (or None)."""
+        return Operation("remove", (key,))
+
+    def operations(self) -> frozenset:
+        return frozenset({"put", "get", "contains", "put_if_absent", "remove"})
+
+    def execute(self, op: Operation, view: DbView) -> Any:
+        if op.name == "put":
+            key, value = op.args
+            cell = view.read(_reg(key))
+            view.write(_reg(key), ("bound", value))
+            return cell[1] if cell is not None else None
+        if op.name == "get":
+            cell = view.read(_reg(op.args[0]))
+            return cell[1] if cell is not None else None
+        if op.name == "contains":
+            return view.read(_reg(op.args[0])) is not None
+        if op.name == "put_if_absent":
+            key, value = op.args
+            if view.read(_reg(key)) is not None:
+                return False
+            view.write(_reg(key), ("bound", value))
+            return True
+        if op.name == "remove":
+            key = op.args[0]
+            cell = view.read(_reg(key))
+            view.write(_reg(key), _ABSENT)
+            return cell[1] if cell is not None else None
+        raise UnknownOperationError(f"KVStore has no operation {op.name!r}")

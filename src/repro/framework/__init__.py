@@ -1,0 +1,42 @@
+"""The formal framework of Sections 3–4, mechanised.
+
+- :mod:`~repro.framework.relations` — finite binary relations with the
+  operators the paper uses (composition, transitive closure, restriction,
+  acyclicity, totality).
+- :mod:`~repro.framework.history` — histories ``H = (E, op, rval, rb, ß,
+  lvl)`` recorded from runs or built by hand.
+- :mod:`~repro.framework.abstract_execution` — abstract executions
+  ``A = (H, vis, ar, par)``.
+- :mod:`~repro.framework.builder` — derives ``vis``, ``ar`` and ``par`` from
+  an instrumented Bayou run exactly as the proof of Theorem 2 does
+  (Appendix A.2.3).
+- :mod:`~repro.framework.predicates` — EV, NCC, RVal, FRVal, CPar, SinOrd,
+  SessArb as executable checks with violation reporting.
+- :mod:`~repro.framework.guarantees` — BEC, FEC and Seq composites.
+- :mod:`~repro.framework.search` — exhaustive satisfiability search for
+  abstract executions over small histories.
+- :mod:`~repro.framework.impossibility` — the mechanised Theorem 1.
+"""
+
+from repro.framework.abstract_execution import AbstractExecution
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_bec, check_fec, check_seq
+from repro.framework.history import History, HistoryEvent, PENDING
+from repro.framework.relations import Relation
+from repro.framework.render import render_execution, render_history
+from repro.framework.session_guarantees import check_all_session_guarantees
+
+__all__ = [
+    "AbstractExecution",
+    "History",
+    "HistoryEvent",
+    "PENDING",
+    "Relation",
+    "build_abstract_execution",
+    "check_bec",
+    "check_fec",
+    "check_all_session_guarantees",
+    "check_seq",
+    "render_execution",
+    "render_history",
+]

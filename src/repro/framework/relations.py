@@ -1,0 +1,281 @@
+"""Finite binary relations with the paper's operator toolkit (Section 3.1).
+
+A :class:`Relation` is a set of ordered pairs over a finite universe. The
+paper's notation maps as follows:
+
+===========================  =======================================
+paper                        here
+===========================  =======================================
+``a --rel--> b``             ``rel.holds(a, b)``
+``rel⁻¹``                    ``rel.inverse()``
+``rel ; rel'``               ``rel.compose(other)``
+``rel⁺``                     ``rel.transitive_closure()``
+``rel*``                     ``rel.reflexive_transitive_closure()``
+``rel | E'``                 ``rel.restrict(subset)``
+``acyclic(rel)``             ``rel.is_acyclic()``
+total order                  ``rel.is_total_order()``
+``rank(S, rel, a)``          ``rank(S, rel, a)`` (module function)
+===========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+Element = Hashable
+Pair = Tuple[Element, Element]
+
+
+class Relation:
+    """An immutable finite binary relation over an explicit universe."""
+
+    def __init__(
+        self,
+        pairs: Iterable[Pair] = (),
+        universe: Optional[Iterable[Element]] = None,
+    ) -> None:
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        implied: Set[Element] = set()
+        for a, b in self._pairs:
+            implied.add(a)
+            implied.add(b)
+        if universe is None:
+            self._universe: FrozenSet[Element] = frozenset(implied)
+        else:
+            self._universe = frozenset(universe) | frozenset(implied)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_total_order(cls, ordering: Sequence[Element]) -> "Relation":
+        """The strict total order induced by a sequence."""
+        pairs = [
+            (ordering[i], ordering[j])
+            for i in range(len(ordering))
+            for j in range(i + 1, len(ordering))
+        ]
+        return cls(pairs, universe=ordering)
+
+    # ------------------------------------------------------------------
+    # Core queries
+    # ------------------------------------------------------------------
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        return self._pairs
+
+    @property
+    def universe(self) -> FrozenSet[Element]:
+        return self._universe
+
+    def holds(self, a: Element, b: Element) -> bool:
+        """True iff ``a --rel--> b``."""
+        return (a, b) in self._pairs
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def successors(self, a: Element) -> Set[Element]:
+        """``rel(a)`` — the set of b with a --rel--> b."""
+        return {y for (x, y) in self._pairs if x == a}
+
+    def predecessors(self, b: Element) -> Set[Element]:
+        """``rel⁻¹(b)`` — the set of a with a --rel--> b."""
+        return {x for (x, y) in self._pairs if y == b}
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def inverse(self) -> "Relation":
+        """``rel⁻¹``."""
+        return Relation(((b, a) for a, b in self._pairs), universe=self._universe)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union of the pair sets."""
+        return Relation(
+            self._pairs | other._pairs, universe=self._universe | other._universe
+        )
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection of the pair sets."""
+        return Relation(
+            self._pairs & other._pairs, universe=self._universe | other._universe
+        )
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Pairs of self not in other."""
+        return Relation(self._pairs - other._pairs, universe=self._universe)
+
+    def compose(self, other: "Relation") -> "Relation":
+        """``self ; other`` = {(a, c) | ∃b: a→b in self and b→c in other}."""
+        by_source: Dict[Element, Set[Element]] = {}
+        for b, c in other._pairs:
+            by_source.setdefault(b, set()).add(c)
+        pairs = {
+            (a, c)
+            for a, b in self._pairs
+            for c in by_source.get(b, ())
+        }
+        return Relation(pairs, universe=self._universe | other._universe)
+
+    def restrict(self, subset: Iterable[Element]) -> "Relation":
+        """``rel | E'`` — both endpoints within ``subset``."""
+        allowed = frozenset(subset)
+        return Relation(
+            ((a, b) for a, b in self._pairs if a in allowed and b in allowed),
+            universe=allowed,
+        )
+
+    def restrict_targets(self, subset: Iterable[Element]) -> "Relation":
+        """``rel ∩ (E × L)`` — targets within ``subset`` (used for vis_L etc.)."""
+        allowed = frozenset(subset)
+        return Relation(
+            ((a, b) for a, b in self._pairs if b in allowed),
+            universe=self._universe,
+        )
+
+    def transitive_closure(self) -> "Relation":
+        """``rel⁺`` via iterated squaring on adjacency sets."""
+        adjacency: Dict[Element, Set[Element]] = {}
+        for a, b in self._pairs:
+            adjacency.setdefault(a, set()).add(b)
+        closure: Dict[Element, Set[Element]] = {
+            a: set(bs) for a, bs in adjacency.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for a in list(closure):
+                reachable = closure[a]
+                expansion = set()
+                for b in reachable:
+                    expansion |= closure.get(b, set())
+                new = expansion - reachable
+                if new:
+                    reachable |= new
+                    changed = True
+        pairs = {(a, b) for a, bs in closure.items() for b in bs}
+        return Relation(pairs, universe=self._universe)
+
+    def reflexive_transitive_closure(self) -> "Relation":
+        """``rel*`` (over the explicit universe)."""
+        closure = self.transitive_closure()
+        pairs = set(closure.pairs) | {(e, e) for e in self._universe}
+        return Relation(pairs, universe=self._universe)
+
+    # ------------------------------------------------------------------
+    # Structural properties
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        """True iff no element reaches itself through the relation."""
+        closure = self.transitive_closure()
+        return all(not closure.holds(e, e) for e in self._universe)
+
+    def is_irreflexive(self) -> bool:
+        return all(not self.holds(e, e) for e in self._universe)
+
+    def is_transitive(self) -> bool:
+        for a, b in self._pairs:
+            for c in self.successors(b):
+                if not self.holds(a, c):
+                    return False
+        return True
+
+    def is_total_order(self) -> bool:
+        """The paper's definition: irreflexive, transitive, total."""
+        if not self.is_irreflexive() or not self.is_transitive():
+            return False
+        elements = list(self._universe)
+        for i, a in enumerate(elements):
+            for b in elements[i + 1:]:
+                if not (self.holds(a, b) or self.holds(b, a)):
+                    return False
+        return True
+
+    def is_subset_of(self, other: "Relation") -> bool:
+        return self._pairs <= other._pairs
+
+    def find_cycle(self) -> Optional[List[Element]]:
+        """Return one cycle (as a list of elements) if any, else None."""
+        color: Dict[Element, int] = {}
+        stack: List[Element] = []
+
+        def dfs(node: Element) -> Optional[List[Element]]:
+            color[node] = 1
+            stack.append(node)
+            for succ in self.successors(node):
+                if color.get(succ, 0) == 1:
+                    return stack[stack.index(succ):] + [succ]
+                if color.get(succ, 0) == 0:
+                    found = dfs(succ)
+                    if found is not None:
+                        return found
+            stack.pop()
+            color[node] = 2
+            return None
+
+        for element in self._universe:
+            if color.get(element, 0) == 0:
+                found = dfs(element)
+                if found is not None:
+                    return found
+        return None
+
+    def topological_sort(self, subset: Optional[Iterable[Element]] = None) -> List[Element]:
+        """Linearise ``subset`` (default: the universe) consistently with us.
+
+        Raises ValueError if the restriction is cyclic. Ties (incomparable
+        elements) are broken deterministically by ``repr`` so results are
+        stable across runs.
+        """
+        elements = list(subset) if subset is not None else list(self._universe)
+        element_set = set(elements)
+        in_degree: Dict[Element, int] = {e: 0 for e in elements}
+        for a, b in self._pairs:
+            if a in element_set and b in element_set:
+                in_degree[b] += 1
+        result: List[Element] = []
+        remaining = set(elements)
+        while remaining:
+            ready = sorted(
+                (e for e in remaining if in_degree[e] == 0), key=repr
+            )
+            if not ready:
+                raise ValueError("relation restriction is cyclic; cannot linearise")
+            head = ready[0]
+            remaining.discard(head)
+            result.append(head)
+            for succ in self.successors(head):
+                if succ in remaining:
+                    in_degree[succ] -= 1
+        return result
+
+
+def rank(subset: Iterable[Element], rel: Relation, element: Element) -> int:
+    """``rank(S, rel, a)`` = |{x ∈ S | x --rel--> a}| (Section 4.2)."""
+    return sum(1 for x in subset if rel.holds(x, element))

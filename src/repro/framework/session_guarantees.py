@@ -1,0 +1,126 @@
+"""Session guarantees (Terry et al., PDIS'94) as executable checks.
+
+Appendix A.1.2 of the paper notes that making weak operations bounded
+wait-free (Algorithm 2) "comes at the cost of losing some session
+guarantees, such as read-your-writes". This module makes that observation
+checkable: the four classic session guarantees, evaluated against a history
+plus a visibility relation.
+
+Definitions (per session, with ``vis`` the visibility relation and ``ar``
+the arbitration order):
+
+- **RYW** (read-your-writes): every operation observes all earlier
+  *updating* operations of its own session.
+- **MR** (monotonic reads): visibility never shrinks along a session —
+  anything visible to an earlier operation is visible to every later one.
+- **WFR** (writes-follow-reads): if a session read observed some update w,
+  then any *later update* u of that session is arbitrated after w.
+- **MW** (monotonic writes): a session's own updates are arbitrated in
+  session order.
+
+The experiment in ``analysis.experiments.sessions`` shows the original
+protocol providing RYW/MR for weak operations while the modified protocol
+trades them away — the paper's stated cost, measured.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.framework.abstract_execution import AbstractExecution
+from repro.framework.predicates import CheckResult, _result
+
+
+def _session_chains(execution: AbstractExecution):
+    """Yield each session's events in session order."""
+    for session, events in execution.history.sessions().items():
+        yield session, events
+
+
+def check_read_your_writes(execution: AbstractExecution) -> CheckResult:
+    """Every event sees the earlier updating events of its own session."""
+    violations: List[str] = []
+    for session, events in _session_chains(execution):
+        for index, event in enumerate(events):
+            for earlier in events[:index]:
+                if earlier.readonly or earlier.pending:
+                    continue
+                if not execution.vis.holds(earlier.eid, event.eid):
+                    violations.append(
+                        f"session {session}: {event.eid!r} does not see own "
+                        f"earlier write {earlier.eid!r}"
+                    )
+    return _result("RYW", violations)
+
+
+def check_monotonic_reads(execution: AbstractExecution) -> CheckResult:
+    """Visibility grows monotonically along each session."""
+    violations: List[str] = []
+    for session, events in _session_chains(execution):
+        seen: set = set()
+        for event in events:
+            visible = set(execution.vis.predecessors(event.eid))
+            lost = {
+                eid
+                for eid in seen - visible
+                if not execution.history.event(eid).readonly
+            }
+            for eid in sorted(lost, key=repr):
+                violations.append(
+                    f"session {session}: {event.eid!r} lost sight of "
+                    f"{eid!r} seen by an earlier operation"
+                )
+            seen |= visible
+    return _result("MR", violations)
+
+
+def check_writes_follow_reads(execution: AbstractExecution) -> CheckResult:
+    """Updates are arbitrated after the writes their session already read."""
+    violations: List[str] = []
+    for session, events in _session_chains(execution):
+        observed: set = set()
+        for event in events:
+            if not event.readonly and not event.pending:
+                for w_eid in sorted(observed, key=repr):
+                    if w_eid == event.eid:
+                        continue
+                    if not execution.ar.holds(w_eid, event.eid):
+                        violations.append(
+                            f"session {session}: update {event.eid!r} not "
+                            f"arbitrated after previously-read {w_eid!r}"
+                        )
+            observed |= {
+                eid
+                for eid in execution.vis.predecessors(event.eid)
+                if not execution.history.event(eid).readonly
+            }
+    return _result("WFR", violations)
+
+
+def check_monotonic_writes(execution: AbstractExecution) -> CheckResult:
+    """A session's own updates appear in session order in ``ar``."""
+    violations: List[str] = []
+    for session, events in _session_chains(execution):
+        updates = [e for e in events if not e.readonly and not e.pending]
+        for earlier, later in zip(updates, updates[1:]):
+            if not execution.ar.holds(earlier.eid, later.eid):
+                violations.append(
+                    f"session {session}: writes {earlier.eid!r}, "
+                    f"{later.eid!r} arbitrated against session order"
+                )
+    return _result("MW", violations)
+
+
+SESSION_GUARANTEES = {
+    "RYW": check_read_your_writes,
+    "MR": check_monotonic_reads,
+    "WFR": check_writes_follow_reads,
+    "MW": check_monotonic_writes,
+}
+
+
+def check_all_session_guarantees(execution: AbstractExecution):
+    """All four checks, as a name → CheckResult mapping."""
+    return {
+        name: check(execution) for name, check in SESSION_GUARANTEES.items()
+    }

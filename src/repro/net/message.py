@@ -1,0 +1,31 @@
+"""Message envelopes carried by the network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_ENVELOPE_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: payload plus addressing and bookkeeping metadata.
+
+    ``uid`` gives every envelope a globally unique identity so traces,
+    retransmission suppression and the reliable-broadcast dedup logic can
+    refer to a specific transmission unambiguously.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    sent_at: float
+    uid: int = field(default_factory=lambda: next(_ENVELOPE_IDS))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Envelope(#{self.uid} {self.sender}->{self.receiver} "
+            f"t={self.sent_at:.3f} {self.payload!r})"
+        )

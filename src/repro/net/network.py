@@ -1,0 +1,204 @@
+"""The simulated network.
+
+Point-to-point, FIFO-per-link message passing with pluggable latency models,
+partition awareness and fault filters.
+
+Partition semantics follow the paper's model of *temporary* partitions: a
+message whose link is cut at delivery time is buffered and re-attempted when
+the partition schedule next changes, so no message between correct processes
+is ever lost — it is only (possibly unboundedly) delayed. In a run whose
+partition never heals (the paper's *asynchronous runs*) buffered messages
+simply stay buffered, and the simulation can still quiesce.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.faults import MessageFilter
+from repro.net.message import Envelope
+from repro.net.partition import PartitionSchedule
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import SeededRngRegistry
+from repro.sim.trace import TraceLog
+
+
+class LatencyModel:
+    """Base class for per-message latency models."""
+
+    def sample(self, sender: int, receiver: int) -> float:
+        """Return the one-way latency for a message on this link."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+    def sample(self, sender: int, receiver: int) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` per message."""
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        rngs: Optional[SeededRngRegistry] = None,
+        *,
+        stream: str = "net.latency",
+    ) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self._rng = (rngs or SeededRngRegistry(0)).stream(stream)
+
+    def sample(self, sender: int, receiver: int) -> float:
+        return self._rng.uniform(self.low, self.high)
+
+
+class Network:
+    """A partitionable FIFO network connecting :class:`Process` instances.
+
+    FIFO per link is enforced by making scheduled delivery times strictly
+    increasing on each (sender, receiver) pair, which the paper's TOB
+    requirements (FIFO order per sender) rely on.
+    """
+
+    #: Minimal spacing between two deliveries on the same link.
+    FIFO_EPSILON = 1e-9
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_processes: int,
+        *,
+        latency: Optional[LatencyModel] = None,
+        partitions: Optional[PartitionSchedule] = None,
+        filters: Optional[MessageFilter] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.sim = sim
+        self.n_processes = n_processes
+        self.latency = latency or FixedLatency(1.0)
+        self.partitions = partitions or PartitionSchedule(n_processes)
+        self.filters = filters or MessageFilter()
+        self.trace = trace
+        self._processes: Dict[int, Process] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        #: Messages whose partition never (yet) heals, awaiting reschedule.
+        self._held: List[Envelope] = []
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+
+    def register(self, process: Process) -> None:
+        """Attach a process; its ``pid`` must be in ``range(n_processes)``."""
+        if not (0 <= process.pid < self.n_processes):
+            raise ValueError(f"pid {process.pid} out of range")
+        self._processes[process.pid] = process
+
+    def process(self, pid: int) -> Process:
+        """Return the registered process with the given pid."""
+        return self._processes[pid]
+
+    def send(self, sender: int, receiver: int, payload: Any) -> Optional[Envelope]:
+        """Send ``payload``; returns the envelope, or None if dropped by a filter.
+
+        Self-messages (loopback) go through the same latency, filter and
+        FIFO machinery as any other link: protocol components (e.g. the TOB
+        sequencer ordering its own proposal) should not get a free
+        zero-latency path that no real deployment has.
+        """
+        verdict = self.filters.verdict(sender, receiver, payload, self.sim.now)
+        extra_delay = 0.0
+        if verdict == MessageFilter.DROP:
+            self.dropped_count += 1
+            if self.trace is not None:
+                self.trace.record(
+                    self.sim.now, sender, "net.drop", receiver=receiver, payload=payload
+                )
+            return None
+        if verdict is not None:
+            extra_delay = float(verdict)
+
+        envelope = Envelope(sender, receiver, payload, self.sim.now)
+        self.sent_count += 1
+        delay = self.latency.sample(sender, receiver) + extra_delay
+        key = (sender, receiver)
+        target = self.sim.now + delay
+        floor = self._last_delivery.get(key, float("-inf")) + self.FIFO_EPSILON
+        target = max(target, floor)
+        self._last_delivery[key] = target
+        self.sim.schedule_at(
+            target,
+            lambda: self._attempt_delivery(envelope),
+            label=f"net {sender}->{receiver}",
+        )
+        return envelope
+
+    def broadcast(self, sender: int, payload: Any, *, include_self: bool = False) -> None:
+        """Send ``payload`` to every process (optionally including the sender)."""
+        for pid in range(self.n_processes):
+            if pid == sender and not include_self:
+                continue
+            self.send(sender, pid, payload)
+
+    def _attempt_delivery(self, envelope: Envelope) -> None:
+        """Deliver ``envelope`` if connectivity allows; otherwise buffer it."""
+        now = self.sim.now
+        if not self.partitions.connected(envelope.sender, envelope.receiver, now):
+            retry_at = self.partitions.next_change_after(now)
+            if retry_at == float("inf"):
+                self._held.append(envelope)
+                if self.trace is not None:
+                    self.trace.record(
+                        now, envelope.sender, "net.held", receiver=envelope.receiver
+                    )
+            else:
+                self.sim.schedule_at(
+                    retry_at,
+                    lambda: self._attempt_delivery(envelope),
+                    label=f"net retry {envelope.sender}->{envelope.receiver}",
+                )
+            return
+        process = self._processes.get(envelope.receiver)
+        if process is None:
+            return
+        self.delivered_count += 1
+        if self.trace is not None:
+            self.trace.record(
+                now,
+                envelope.receiver,
+                "net.deliver",
+                sender=envelope.sender,
+                payload=envelope.payload,
+            )
+        process.deliver(envelope.sender, envelope.payload)
+
+    def reschedule_held(self) -> None:
+        """Re-attempt delivery of messages held during a never-ending partition.
+
+        Experiments that mutate the partition schedule mid-run (e.g. healing a
+        partition that was previously permanent) must call this afterwards.
+        """
+        held, self._held = self._held, []
+        for envelope in held:
+            self.sim.schedule(
+                0.0,
+                lambda env=envelope: self._attempt_delivery(env),
+                label="net reattempt",
+            )
+
+    @property
+    def held_count(self) -> int:
+        """Number of messages currently buffered behind a permanent partition."""
+        return len(self._held)

@@ -1,0 +1,56 @@
+"""Routing nodes: processes hosting multiple protocol components.
+
+A replica in this repository is one :class:`RoutingNode` hosting several
+components (reliable broadcast, total order broadcast, failure detector, the
+Bayou state machine). Messages on the wire are ``(component_tag, payload)``
+pairs; the node dispatches them to the registered component handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+ComponentHandler = Callable[[int, Any], None]
+
+
+class RoutingNode(Process):
+    """A process that routes tagged messages to registered components."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: int,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim, pid, name)
+        self.network = network
+        self._components: Dict[str, ComponentHandler] = {}
+        network.register(self)
+
+    def register_component(self, tag: str, handler: ComponentHandler) -> None:
+        """Register ``handler`` for messages tagged ``tag``."""
+        if tag in self._components:
+            raise ValueError(f"component tag {tag!r} already registered")
+        self._components[tag] = handler
+
+    def on_message(self, sender: int, message: Any) -> None:
+        tag, payload = message
+        handler = self._components.get(tag)
+        if handler is None:
+            raise KeyError(f"{self.name}: no component for tag {tag!r}")
+        handler(sender, payload)
+
+    def send_component(self, receiver: int, tag: str, payload: Any) -> None:
+        """Send a tagged message to one process (possibly ourselves)."""
+        self.network.send(self.pid, receiver, (tag, payload))
+
+    def broadcast_component(
+        self, tag: str, payload: Any, *, include_self: bool = False
+    ) -> None:
+        """Send a tagged message to every process."""
+        self.network.broadcast(self.pid, (tag, payload), include_self=include_self)

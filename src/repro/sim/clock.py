@@ -1,0 +1,81 @@
+"""Per-replica local clocks.
+
+Bayou orders tentative requests by ``(timestamp, dot)`` where the timestamp
+comes from the invoking replica's *local* clock. The paper makes no
+assumption about clock drift (Appendix A.2.1, footnote 9) beyond strict
+monotonicity per replica. :class:`DriftingClock` models an affine local
+clock ``local = offset + rate * simulated_time`` and additionally enforces
+strict monotonicity across reads, so two invoke events on the same replica
+never share a timestamp even at the same simulated instant.
+
+A deliberately slowed clock (``rate < 1``) is exactly the countermeasure
+discussed in Section 2.3, which trades growing local latency for growing
+rollback counts on the other replicas; experiment E3 uses it.
+"""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+
+
+class PerfectClock:
+    """A clock that reads the simulator time directly (rate 1, offset 0)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        """Return the current local time."""
+        return self._sim.now
+
+
+class DriftingClock:
+    """An affine local clock with strict monotonicity.
+
+    ``now()`` returns ``offset + rate * sim.now``, bumped by a tiny epsilon
+    whenever two consecutive reads would otherwise be equal. The epsilon is
+    deterministic, so runs remain reproducible.
+    """
+
+    #: Minimal increment between two consecutive reads of the same clock.
+    EPSILON = 1e-9
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        offset: float = 0.0,
+        rate: float = 1.0,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"clock rate must be positive, got {rate}")
+        self._sim = sim
+        self.offset = offset
+        self.rate = rate
+        self._last_read = float("-inf")
+
+    def now(self) -> float:
+        """Return a strictly monotonically increasing local timestamp."""
+        raw = self.offset + self.rate * self._sim.now
+        if raw <= self._last_read:
+            raw = self._last_read + self.EPSILON
+        self._last_read = raw
+        return raw
+
+    def peek(self) -> float:
+        """Return the raw local time without consuming a monotonic tick."""
+        return self.offset + self.rate * self._sim.now
+
+    def set_rate(self, rate: float) -> None:
+        """Change the clock rate from now on, keeping local time continuous.
+
+        Used by experiment E3 to slow a replica's clock mid-run without the
+        local time jumping backwards.
+        """
+        if rate <= 0:
+            raise ValueError(f"clock rate must be positive, got {rate}")
+        # Recompute the offset so that the local time at this instant is
+        # unchanged by the rate switch.
+        current = self.peek()
+        self.rate = rate
+        self.offset = current - rate * self._sim.now

@@ -1,0 +1,174 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of :class:`ScheduledEvent` objects.
+Each event carries a zero-argument callback. Events scheduled for the same
+simulated time are executed in scheduling order (a monotonically increasing
+sequence number breaks ties), which makes every run fully deterministic.
+
+The kernel knows nothing about replicas, networks, or protocols; those are
+layered on top (see :mod:`repro.net` and :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A single entry in the simulator's event queue.
+
+    Events are ordered by ``(time, seq)``; ``seq`` is assigned by the
+    simulator and guarantees a deterministic total order even for events
+    scheduled at identical times.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("hello at t=1"))
+        sim.run()
+
+    The simulator tracks the number of executed events and exposes
+    :meth:`run_until_quiescent` which is how experiment harnesses detect that
+    a protocol converged (no pending messages or timers).
+    """
+
+    def __init__(self, *, max_events: int = 10_000_000) -> None:
+        self._queue: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+        self._max_events = max_events
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """The number of callbacks executed so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """The number of non-cancelled events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` time units from now.
+
+        Returns the :class:`ScheduledEvent`, which can be cancelled. A zero
+        delay is allowed and means "as soon as the current callback returns",
+        still respecting scheduling order among same-time events.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = ScheduledEvent(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} < now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, label=label)
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue is
+        empty (the simulation is quiescent).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self._executed += 1
+            if self._executed > self._max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._max_events}; "
+                    "likely a livelock in the simulated protocol"
+                )
+            event.callback()
+            return True
+        return False
+
+    def run(self, *, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or simulated time exceeds ``until``.
+
+        Events scheduled exactly at ``until`` are still executed; the first
+        event strictly beyond it is left in the queue.
+        """
+        self._running = True
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and head.time > until:
+                    self._now = max(self._now, until)
+                    break
+                if not self.step():
+                    break
+        finally:
+            self._running = False
+
+    def run_until_quiescent(self) -> float:
+        """Run until no events remain; return the quiescence time."""
+        self.run()
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Advance simulated time without executing events (for tests)."""
+        if time < self._now:
+            raise SimulationError("cannot move time backwards")
+        if self._queue and min(e.time for e in self._queue if not e.cancelled) < time:
+            raise SimulationError("cannot skip over pending events")
+        self._now = time

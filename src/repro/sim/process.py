@@ -1,0 +1,65 @@
+"""Base class for simulated protocol state machines.
+
+A :class:`Process` is a named participant that reacts to messages and timers.
+It matches the paper's replica model (Appendix A.2.1): a state automaton
+executing atomic steps in reaction to events. Crashing a process makes it
+silently drop all subsequent events — "replicas may crash silently and cease
+all communication".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+
+
+class Process:
+    """A crash-stop participant in the simulation.
+
+    Subclasses implement :meth:`on_message`. Timers scheduled through
+    :meth:`set_timer` are automatically suppressed once the process crashes,
+    matching the crash-stop model: a crashed replica executes no further
+    steps of any kind.
+    """
+
+    def __init__(self, sim: Simulator, pid: int, name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.pid = pid
+        self.name = name if name is not None else f"p{pid}"
+        self.crashed = False
+
+    def on_message(self, sender: int, message: Any) -> None:
+        """Handle a message delivered by the network. Override in subclasses."""
+        raise NotImplementedError
+
+    def deliver(self, sender: int, message: Any) -> None:
+        """Entry point used by the network; drops the message if crashed."""
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    def set_timer(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule a local timer that silently fires only while not crashed."""
+
+        def guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        return self.sim.schedule(
+            delay, guarded, label=label or f"{self.name}.timer"
+        )
+
+    def crash(self) -> None:
+        """Silently stop the process; all future events are ignored."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Un-crash the process (used only by recovery experiments)."""
+        self.crashed = False

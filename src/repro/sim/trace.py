@@ -1,0 +1,76 @@
+"""Structured simulation traces.
+
+Protocols append :class:`TraceEntry` records to a shared :class:`TraceLog`.
+The formal-framework builders (:mod:`repro.framework.builder`) and the
+experiment reports consume these traces; tests use them to assert that a
+specific schedule (e.g. the Figure 1 interleaving) actually occurred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded occurrence: what happened, where, when, with what data."""
+
+    time: float
+    process: int
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEntry(t={self.time:.3f}, p={self.process}, {self.kind}, {self.data})"
+
+
+class TraceLog:
+    """An append-only log of :class:`TraceEntry` records with simple queries."""
+
+    def __init__(self) -> None:
+        self._entries: List[TraceEntry] = []
+
+    def record(
+        self, time: float, process: int, kind: str, **data: Any
+    ) -> TraceEntry:
+        """Append an entry and return it."""
+        entry = TraceEntry(time=time, process=process, kind=kind, data=dict(data))
+        self._entries.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def entries(
+        self,
+        *,
+        kind: Optional[str] = None,
+        process: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Return entries filtered by kind, process and/or a predicate."""
+        result = []
+        for entry in self._entries:
+            if kind is not None and entry.kind != kind:
+                continue
+            if process is not None and entry.process != process:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            result.append(entry)
+        return result
+
+    def count(self, *, kind: Optional[str] = None, process: Optional[int] = None) -> int:
+        """Count entries matching the filters."""
+        return len(self.entries(kind=kind, process=process))
+
+    def last(self, *, kind: Optional[str] = None) -> Optional[TraceEntry]:
+        """Return the most recent entry of ``kind`` (or overall), if any."""
+        for entry in reversed(self._entries):
+            if kind is None or entry.kind == kind:
+                return entry
+        return None

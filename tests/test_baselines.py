@@ -1,0 +1,166 @@
+"""Tests for the baseline systems (EC store, SMR, GSP)."""
+
+import pytest
+
+from repro.baselines.ec_store import ECStoreCluster, UnsupportedOperationError
+from repro.baselines.gsp import GSPCluster
+from repro.baselines.smr import SMRCluster
+from repro.analysis.metrics import count_reordering_witnesses
+from repro.datatypes.counter import Counter
+from repro.datatypes.register import Register
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_bec, check_seq
+from repro.framework.history import STRONG, WEAK
+from repro.net.partition import PartitionSchedule
+
+
+# ----------------------------------------------------------------------
+# EC store
+# ----------------------------------------------------------------------
+def test_ec_store_lww_convergence():
+    cluster = ECStoreCluster(Register(), n_replicas=3)
+    cluster.schedule_invoke(1.0, 0, Register.write("first"))
+    cluster.schedule_invoke(2.0, 1, Register.write("second"))
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+    # Last writer (by timestamp) wins on every replica.
+    read = cluster.invoke(2, Register.read())
+    history = cluster.build_history(well_formed=False)
+    assert history.event(read.dot).rval == "second"
+
+
+def test_ec_store_concurrent_writes_agree():
+    """Same-time writes from different replicas: dots break the tie."""
+    cluster = ECStoreCluster(Register(), n_replicas=2)
+    cluster.schedule_invoke(1.0, 0, Register.write("zero"))
+    cluster.schedule_invoke(1.0, 1, Register.write("one"))
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+
+
+def test_ec_store_rejects_read_write_operations():
+    cluster = ECStoreCluster(Counter(), n_replicas=2)
+    with pytest.raises(UnsupportedOperationError):
+        cluster.invoke(0, Counter.increment(1))
+
+
+def test_ec_store_rejects_strong_ops():
+    cluster = ECStoreCluster(Register(), n_replicas=2)
+    with pytest.raises(UnsupportedOperationError):
+        cluster.invoke(0, Register.write("x"), strong=True)
+
+
+def test_ec_store_satisfies_bec_and_shows_no_reordering():
+    cluster = ECStoreCluster(Register(), n_replicas=3)
+    for index in range(5):
+        cluster.schedule_invoke(1.0 + index, index % 3, Register.write(index))
+        cluster.schedule_invoke(1.4 + index, (index + 1) % 3, Register.read())
+    cluster.run_until_quiescent()
+    cluster.mark_horizon()
+    for pid in range(3):
+        cluster.schedule_invoke(cluster.sim.now + 1.0 + pid, pid, Register.read())
+    cluster.run_until_quiescent()
+    history = cluster.build_history()
+    execution = build_abstract_execution(history)
+    assert check_bec(execution, WEAK).ok
+    assert count_reordering_witnesses(history) == 0
+
+
+def test_ec_store_available_under_partition():
+    partitions = PartitionSchedule(3)
+    partitions.split(0.5, [[0], [1, 2]])
+    cluster = ECStoreCluster(Register(), n_replicas=3, partitions=partitions)
+    req = cluster.invoke(0, Register.write("isolated"))
+    cluster.run(until=10.0)
+    history = cluster.build_history(well_formed=False)
+    assert not history.event(req.dot).pending
+
+
+# ----------------------------------------------------------------------
+# SMR
+# ----------------------------------------------------------------------
+def test_smr_executes_in_identical_order():
+    cluster = SMRCluster(Counter(), n_replicas=3)
+    # SMR responses take a TOB round; keep per-session invocations spaced
+    # out so the history stays well-formed.
+    for index in range(6):
+        cluster.schedule_invoke(1.0 + index * 3.0, index % 3, Counter.increment(1))
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+    history = cluster.build_history()
+    execution = build_abstract_execution(history)
+    assert check_seq(execution, STRONG).ok
+
+
+def test_smr_order_sensitive_ops_are_safe():
+    cluster = SMRCluster(Counter(), n_replicas=3)
+    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    cluster.schedule_invoke(1.1, 1, Counter.add_if_even(10))
+    cluster.run_until_quiescent()
+    history = cluster.build_history()
+    execution = build_abstract_execution(history)
+    assert check_seq(execution, STRONG).ok
+
+
+def test_smr_blocks_in_minority_partition():
+    partitions = PartitionSchedule(3)
+    partitions.split(0.5, [[0, 1], [2]])
+    cluster = SMRCluster(Counter(), n_replicas=3, partitions=partitions)
+    req = cluster.invoke(2, Counter.increment(1))
+    cluster.run(until=300.0)
+    history = cluster.build_history(well_formed=False)
+    assert history.event(req.dot).pending
+
+
+# ----------------------------------------------------------------------
+# GSP
+# ----------------------------------------------------------------------
+def test_gsp_immediate_local_responses():
+    cluster = GSPCluster(Counter(), n_replicas=2)
+    req = cluster.invoke(0, Counter.increment(5))
+    history = cluster.build_history(well_formed=False)
+    event = history.event(req.dot)
+    assert event.rval == 5
+    assert event.return_time == event.invoke_time
+
+
+def test_gsp_clients_converge_through_cloud():
+    cluster = GSPCluster(Counter(), n_replicas=3)
+    for index in range(6):
+        cluster.schedule_invoke(1.0 + index * 0.5, index % 3, Counter.increment(1))
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+
+
+def test_gsp_no_temporary_reordering():
+    cluster = GSPCluster(Counter(), n_replicas=3)
+    for index in range(6):
+        cluster.schedule_invoke(1.0 + index * 0.3, index % 3, Counter.increment(1))
+    cluster.run_until_quiescent()
+    history = cluster.build_history(well_formed=False)
+    assert count_reordering_witnesses(history) == 0
+
+
+def test_gsp_strong_ops_unsupported():
+    cluster = GSPCluster(Counter(), n_replicas=2)
+    with pytest.raises(ValueError):
+        cluster.invoke(0, Counter.increment(1), strong=True)
+
+
+def test_gsp_no_mutual_visibility_during_cloud_outage():
+    """While the cloud is unreachable, clients do not observe each other
+    (the reason Theorem 1 does not apply to GSP)."""
+    partitions = PartitionSchedule(4)  # 3 clients + cloud (pid 3)
+    partitions.split(0.5, [[0, 1, 2], [3]])
+    cluster = GSPCluster(Counter(), n_replicas=3, partitions=partitions)
+    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    read = []
+    cluster.sim.schedule_at(
+        50.0, lambda: read.append(cluster.invoke(1, Counter.read()))
+    )
+    cluster.run(until=100.0)
+    history = cluster.build_history(well_formed=False)
+    # Client 1 still sees 0: client 0's increment never reached it.
+    assert history.event(read[0].dot).rval == 0
+    # Local ops still respond: availability for local speculation.
+    assert not history.event(read[0].dot).pending

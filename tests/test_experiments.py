@@ -1,0 +1,165 @@
+"""Integration tests: every paper artifact reproduces (experiments E1–E8)."""
+
+import pytest
+
+from repro.analysis.experiments.figure1 import run_figure1
+from repro.analysis.experiments.figure2 import run_figure2
+from repro.analysis.experiments.progress import run_clock_slowdown, run_slow_replica
+from repro.analysis.experiments.theorem1 import run_theorem1_live
+from repro.analysis.experiments.theorems import run_theorem2, run_theorem3
+from repro.core.cluster import MODIFIED, ORIGINAL
+
+
+# ----------------------------------------------------------------------
+# E1 — Figure 1
+# ----------------------------------------------------------------------
+class TestFigure1:
+    def test_weak_append_returns_tentative_aax(self):
+        result = run_figure1(protocol=ORIGINAL)
+        assert result.responses["append_a"] == "a"
+        assert result.responses["append_x"] == "aax"       # tentative!
+        assert result.responses["duplicate"] == "axax"     # final order
+
+    def test_strong_append_variant_returns_ax(self):
+        result = run_figure1(protocol=ORIGINAL, strong_append=True)
+        assert result.responses["append_x"] == "ax"        # paper's "(→ ax)"
+        assert result.responses["duplicate"] == "axax"
+
+    def test_replicas_converge_to_axax(self):
+        result = run_figure1(protocol=ORIGINAL)
+        assert result.converged
+        assert result.final_value == "axax"
+
+    def test_reordering_witnessed_and_bec_violated(self):
+        result = run_figure1(protocol=ORIGINAL)
+        assert result.reordering_witnesses >= 1
+        assert result.trace_final_discords >= 1
+        assert not result.bec_weak.ok
+
+    def test_original_protocol_also_shows_circular_causality_here(self):
+        # Figure 1's schedule creates the hb-cycle too (Section 2.2).
+        result = run_figure1(protocol=ORIGINAL)
+        ncc = next(r for r in result.fec_weak.results if r.name == "NCC")
+        assert not ncc.ok
+
+    def test_modified_protocol_same_schedule_is_clean(self):
+        result = run_figure1(protocol=MODIFIED)
+        assert result.responses["append_x"] == "ax"
+        assert result.responses["duplicate"] == "axax"
+        assert result.bec_weak.ok
+        assert result.fec_weak.ok
+        assert result.seq_strong.ok
+
+    def test_strong_ops_satisfy_seq_even_in_original(self):
+        result = run_figure1(protocol=ORIGINAL)
+        assert result.seq_strong.ok
+
+
+# ----------------------------------------------------------------------
+# E2 — Figure 2
+# ----------------------------------------------------------------------
+class TestFigure2:
+    def test_circular_causality_in_original(self):
+        result = run_figure2(protocol=ORIGINAL)
+        assert result.responses["append_x"] == "ayx"   # x observed y
+        assert result.responses["append_y"] == "axy"   # y observed x
+        assert result.circular_causality
+        assert result.converged
+
+    def test_modified_protocol_avoids_the_cycle(self):
+        result = run_figure2(protocol=MODIFIED)
+        assert not result.circular_causality
+        assert result.fec_weak.ok
+        assert result.converged
+        # Immediate execution: responses reflect only local state.
+        assert result.responses["append_x"] == "ax"
+        assert result.responses["append_y"] == "y"
+
+
+# ----------------------------------------------------------------------
+# E3 — Section 2.3 progress
+# ----------------------------------------------------------------------
+class TestProgress:
+    def test_original_bayou_latency_grows_without_bound(self):
+        result = run_slow_replica(protocol=ORIGINAL, rounds=24)
+        assert result.growth > 5.0
+        # Strictly increasing trend on the tail.
+        tail = result.latencies[-6:]
+        assert all(later > earlier for earlier, later in zip(tail, tail[1:]))
+
+    def test_modified_bayou_is_bounded_wait_free(self):
+        result = run_slow_replica(protocol=MODIFIED, rounds=24)
+        assert result.growth == 0.0
+        assert all(latency == 0.0 for latency in result.latencies)
+
+    def test_backlog_grows_on_the_slow_replica(self):
+        result = run_slow_replica(protocol=ORIGINAL, rounds=24)
+        assert result.backlog_curve[-1] > result.backlog_curve[2]
+
+    def test_slowed_clock_causes_rollback_storm(self):
+        baseline = run_clock_slowdown(slow_rate=1.0, rounds=20)
+        slowed = run_clock_slowdown(slow_rate=0.4, rounds=20)
+        assert slowed.rollbacks_fast_replicas > 3 * baseline.rollbacks_fast_replicas
+
+    def test_rollback_storm_grows_over_time(self):
+        slowed = run_clock_slowdown(slow_rate=0.4, rounds=20)
+        assert slowed.late_vs_early_ratio > 2.0
+
+
+# ----------------------------------------------------------------------
+# E4 — Theorem 1 (live)
+# ----------------------------------------------------------------------
+class TestTheorem1Live:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_theorem1_live()
+
+    def test_proof_schedule_observables(self, result):
+        assert result.responses["a"] == "a"
+        assert result.responses["b"] == "b"
+        assert result.responses["r"] == "ab"   # tentative order a, b
+        assert result.responses["c"] == "bc"   # committed prefix b only
+
+    def test_bec_weak_violated_fec_and_seq_hold(self, result):
+        assert not result.bec_weak.ok
+        assert result.fec_weak.ok
+        assert result.seq_strong.ok
+
+    def test_exhaustive_search_confirms_impossibility(self, result):
+        assert not result.search.satisfiable
+        assert result.search.arbitrations_tried == 24
+
+    def test_cluster_converges_after_quarantine_lifts(self, result):
+        assert result.converged
+
+
+# ----------------------------------------------------------------------
+# E5/E6 — Theorems 2 and 3
+# ----------------------------------------------------------------------
+class TestTheorems:
+    @pytest.mark.parametrize("profile", ["counter", "list", "kv", "bank", "set"])
+    def test_theorem2_fec_weak_and_seq_strong(self, profile):
+        result = run_theorem2(profile)
+        assert result.theorem2_holds, (
+            result.fec_weak.summary() + " / " + result.seq_strong.summary()
+        )
+        assert result.converged
+
+    def test_theorem2_different_seeds(self):
+        for seed in (7, 21):
+            result = run_theorem2("counter", seed=seed)
+            assert result.theorem2_holds
+
+    def test_theorem2_original_protocol_strong_ops_still_seq(self):
+        result = run_theorem2("counter", protocol=ORIGINAL)
+        assert result.seq_strong.ok
+
+    def test_theorem3_async_run(self):
+        result = run_theorem3()
+        assert result.pending_strong_during == 1
+        assert result.weak_responses_during >= 4
+        assert not result.seq_strong_during.ok    # pending strong op
+        assert result.fec_weak_during.ok          # weak ops stay correct
+        assert result.seq_strong_after.ok         # temporary partitions heal
+        assert result.fec_weak_after.ok
+        assert result.converged_after

@@ -1,0 +1,175 @@
+"""Unit tests for histories and their derived relations."""
+
+import pytest
+
+from repro.datatypes.counter import Counter
+from repro.framework.history import (
+    History,
+    HistoryEvent,
+    MalformedHistoryError,
+    PENDING,
+    STRONG,
+    WEAK,
+)
+
+
+def make_event(eid, session, invoke, ret, rval=0, level=WEAK, **kwargs):
+    return HistoryEvent(
+        eid=eid,
+        session=session,
+        op=Counter.read(),
+        level=level,
+        invoke_time=invoke,
+        return_time=ret,
+        rval=rval,
+        timestamp=invoke,
+        **kwargs,
+    )
+
+
+def test_events_sorted_by_invoke_time():
+    history = History(
+        [
+            make_event("b", 0, 2.0, 2.5),
+            make_event("a", 0, 1.0, 1.5),
+        ],
+        Counter(),
+    )
+    assert history.eids == ["a", "b"]
+
+
+def test_duplicate_eids_rejected():
+    with pytest.raises(MalformedHistoryError):
+        History(
+            [make_event("a", 0, 1.0, 1.5), make_event("a", 1, 2.0, 2.5)],
+            Counter(),
+        )
+
+
+def test_overlapping_session_ops_rejected():
+    with pytest.raises(MalformedHistoryError):
+        History(
+            [
+                make_event("a", 0, 1.0, 5.0),
+                make_event("b", 0, 2.0, 6.0),
+            ],
+            Counter(),
+        )
+
+
+def test_event_after_pending_rejected():
+    with pytest.raises(MalformedHistoryError):
+        History(
+            [
+                make_event("a", 0, 1.0, None, rval=PENDING),
+                make_event("b", 0, 2.0, 2.5),
+            ],
+            Counter(),
+        )
+
+
+def test_pending_last_event_is_fine():
+    history = History(
+        [
+            make_event("a", 0, 1.0, 1.5),
+            make_event("b", 0, 2.0, None, rval=PENDING),
+        ],
+        Counter(),
+    )
+    assert history.event("b").pending
+
+
+def test_well_formedness_can_be_skipped():
+    History(
+        [make_event("a", 0, 1.0, 5.0), make_event("b", 0, 2.0, 6.0)],
+        Counter(),
+        well_formed=False,
+    )
+
+
+def test_same_invoke_time_ordered_by_seq():
+    history = History(
+        [
+            make_event("later", 0, 1.0, 1.0, seq=2),
+            make_event("earlier", 0, 1.0, 1.0, seq=1),
+        ],
+        Counter(),
+    )
+    assert history.eids == ["earlier", "later"]
+
+
+def test_returns_before_relation():
+    history = History(
+        [
+            make_event("a", 0, 1.0, 2.0),
+            make_event("b", 1, 3.0, 4.0),
+            make_event("c", 1, 5.0, None, rval=PENDING),
+        ],
+        Counter(),
+    )
+    rb = history.returns_before()
+    assert rb.holds("a", "b")
+    assert rb.holds("a", "c")
+    assert rb.holds("b", "c")
+    assert not rb.holds("c", "a")  # pending: never returns-before anything
+
+
+def test_concurrent_events_not_rb_ordered():
+    history = History(
+        [make_event("a", 0, 1.0, 5.0), make_event("b", 1, 2.0, 4.0)],
+        Counter(),
+    )
+    rb = history.returns_before()
+    assert not rb.holds("a", "b")
+    assert not rb.holds("b", "a")
+
+
+def test_session_order_only_within_sessions():
+    history = History(
+        [
+            make_event("a", 0, 1.0, 2.0),
+            make_event("b", 1, 3.0, 4.0),
+            make_event("c", 0, 5.0, 6.0),
+        ],
+        Counter(),
+    )
+    so = history.session_order()
+    assert so.holds("a", "c")
+    assert not so.holds("a", "b")
+    assert not so.holds("b", "c")
+
+
+def test_same_session_relation_is_symmetric():
+    history = History(
+        [make_event("a", 0, 1.0, 2.0), make_event("c", 0, 5.0, 6.0)],
+        Counter(),
+    )
+    ss = history.same_session()
+    assert ss.holds("a", "c") and ss.holds("c", "a")
+
+
+def test_with_level_filter():
+    history = History(
+        [
+            make_event("w", 0, 1.0, 2.0, level=WEAK),
+            make_event("s", 1, 1.0, 2.0, level=STRONG),
+        ],
+        Counter(),
+    )
+    assert [e.eid for e in history.with_level(WEAK)] == ["w"]
+    assert [e.eid for e in history.with_level(STRONG)] == ["s"]
+
+
+def test_events_after_horizon():
+    history = History(
+        [make_event("a", 0, 1.0, 2.0), make_event("b", 0, 9.0, 9.5)],
+        Counter(),
+        horizon=5.0,
+    )
+    assert [e.eid for e in history.events_after_horizon()] == ["b"]
+
+
+def test_req_key_uses_timestamp_then_eid():
+    early = make_event("z", 0, 1.0, 2.0)
+    late = make_event("a", 1, 3.0, 4.0)
+    assert early.req_key < late.req_key

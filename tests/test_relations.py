@@ -1,0 +1,141 @@
+"""Unit tests for the relation algebra (Section 3.1)."""
+
+import pytest
+
+from repro.framework.relations import Relation, rank
+
+
+def test_holds_and_contains():
+    rel = Relation([("a", "b"), ("b", "c")])
+    assert rel.holds("a", "b")
+    assert ("b", "c") in rel
+    assert not rel.holds("a", "c")
+
+
+def test_successors_predecessors():
+    rel = Relation([("a", "b"), ("a", "c"), ("b", "c")])
+    assert rel.successors("a") == {"b", "c"}
+    assert rel.predecessors("c") == {"a", "b"}
+
+
+def test_inverse_is_involution():
+    rel = Relation([("a", "b"), ("b", "c")], universe="abc")
+    assert rel.inverse().inverse() == rel
+
+
+def test_composition():
+    rel = Relation([("a", "b")])
+    other = Relation([("b", "c"), ("b", "d")])
+    composed = rel.compose(other)
+    assert composed.pairs == frozenset({("a", "c"), ("a", "d")})
+
+
+def test_transitive_closure():
+    rel = Relation([("a", "b"), ("b", "c"), ("c", "d")])
+    closure = rel.transitive_closure()
+    assert closure.holds("a", "d")
+    assert closure.holds("b", "d")
+    assert not closure.holds("d", "a")
+
+
+def test_closure_is_idempotent():
+    rel = Relation([("a", "b"), ("b", "c")])
+    once = rel.transitive_closure()
+    assert once.transitive_closure() == once
+
+
+def test_reflexive_transitive_closure_includes_identity():
+    rel = Relation([("a", "b")], universe="abc")
+    star = rel.reflexive_transitive_closure()
+    for element in "abc":
+        assert star.holds(element, element)
+
+
+def test_restrict():
+    rel = Relation([("a", "b"), ("b", "c"), ("a", "c")])
+    restricted = rel.restrict({"a", "b"})
+    assert restricted.pairs == frozenset({("a", "b")})
+
+
+def test_restrict_targets():
+    rel = Relation([("a", "b"), ("b", "c"), ("a", "c")])
+    into_c = rel.restrict_targets({"c"})
+    assert into_c.pairs == frozenset({("b", "c"), ("a", "c")})
+
+
+def test_acyclicity():
+    assert Relation([("a", "b"), ("b", "c")]).is_acyclic()
+    assert not Relation([("a", "b"), ("b", "a")]).is_acyclic()
+    assert not Relation([("a", "a")]).is_acyclic()
+
+
+def test_find_cycle_reports_a_cycle():
+    rel = Relation([("a", "b"), ("b", "c"), ("c", "a")])
+    cycle = rel.find_cycle()
+    assert cycle is not None
+    assert cycle[0] == cycle[-1]
+    assert set(cycle) <= {"a", "b", "c"}
+    assert Relation([("a", "b")]).find_cycle() is None
+
+
+def test_total_order_detection():
+    total = Relation.from_total_order(["a", "b", "c"])
+    assert total.is_total_order()
+    assert not Relation([("a", "b")], universe="abc").is_total_order()
+    # A cyclic "order" is not a total order.
+    assert not Relation([("a", "b"), ("b", "a")]).is_total_order()
+
+
+def test_from_total_order_pairs():
+    total = Relation.from_total_order([1, 2, 3])
+    assert total.pairs == frozenset({(1, 2), (1, 3), (2, 3)})
+
+
+def test_topological_sort_respects_relation():
+    rel = Relation([("b", "a"), ("c", "b")], universe="abc")
+    assert rel.topological_sort() == ["c", "b", "a"]
+
+
+def test_topological_sort_subset():
+    rel = Relation.from_total_order(["a", "b", "c", "d"])
+    assert rel.topological_sort(["d", "b"]) == ["b", "d"]
+
+
+def test_topological_sort_cyclic_raises():
+    rel = Relation([("a", "b"), ("b", "a")])
+    with pytest.raises(ValueError):
+        rel.topological_sort()
+
+
+def test_topological_sort_deterministic_ties():
+    rel = Relation([], universe=["z", "y", "x"])
+    assert rel.topological_sort() == rel.topological_sort()
+
+
+def test_union_intersection_difference():
+    rel_a = Relation([("a", "b"), ("b", "c")])
+    rel_b = Relation([("b", "c"), ("c", "d")])
+    assert rel_a.union(rel_b).pairs == frozenset(
+        {("a", "b"), ("b", "c"), ("c", "d")}
+    )
+    assert rel_a.intersection(rel_b).pairs == frozenset({("b", "c")})
+    assert rel_a.difference(rel_b).pairs == frozenset({("a", "b")})
+
+
+def test_subset():
+    small = Relation([("a", "b")])
+    big = Relation([("a", "b"), ("b", "c")])
+    assert small.is_subset_of(big)
+    assert not big.is_subset_of(small)
+
+
+def test_rank_counts_predecessors_in_subset():
+    ar = Relation.from_total_order(["a", "b", "c", "d"])
+    assert rank(["a", "b", "c"], ar, "c") == 2
+    assert rank(["c", "d"], ar, "c") == 0
+    assert rank(["a", "d"], ar, "c") == 1
+
+
+def test_universe_tracks_mentioned_and_declared():
+    rel = Relation([("a", "b")], universe=["c"])
+    assert rel.universe == frozenset({"a", "b", "c"})

@@ -1,0 +1,152 @@
+"""Tests for the exhaustive search and the mechanised Theorem 1."""
+
+import pytest
+
+from repro.datatypes.rlist import RList
+from repro.framework.guarantees import check_bec
+from repro.framework.history import History, HistoryEvent, STRONG, WEAK
+from repro.framework.impossibility import (
+    build_fec_witness,
+    build_theorem1_history,
+    prove_impossibility,
+)
+from repro.framework.search import (
+    MAX_SEARCH_EVENTS,
+    find_bec_seq_execution,
+    find_guarantee_execution,
+)
+
+
+def make_event(eid, session, invoke, op, rval, **kwargs):
+    defaults = dict(
+        level=WEAK,
+        return_time=invoke + 0.5,
+        timestamp=invoke,
+        tob_cast=True,
+    )
+    defaults.update(kwargs)
+    return HistoryEvent(
+        eid=eid, session=session, op=op, invoke_time=invoke, rval=rval, **defaults
+    )
+
+
+# ----------------------------------------------------------------------
+# Satisfiable cases: the search must find witnesses when they exist
+# ----------------------------------------------------------------------
+def test_consistent_history_is_satisfiable():
+    history = History(
+        [
+            make_event("a", 0, 1.0, RList.append("a"), "a"),
+            make_event("r", 1, 3.0, RList.read(), "a", readonly=True),
+        ],
+        RList(),
+    )
+    outcome = find_bec_seq_execution(history)
+    assert outcome.satisfiable
+    assert outcome.witness is not None
+    assert check_bec(outcome.witness, WEAK).ok
+
+
+def test_strong_only_history_is_satisfiable():
+    history = History(
+        [
+            make_event("s1", 0, 1.0, RList.append("a"), "a", level=STRONG),
+            make_event("s2", 1, 3.0, RList.append("b"), "ab", level=STRONG),
+        ],
+        RList(),
+    )
+    assert find_bec_seq_execution(history).satisfiable
+
+
+def test_unexplainable_value_is_unsatisfiable():
+    history = History(
+        [
+            make_event("a", 0, 1.0, RList.append("a"), "a"),
+            make_event("r", 1, 3.0, RList.read(), "zzz", readonly=True),
+        ],
+        RList(),
+    )
+    assert not find_bec_seq_execution(history).satisfiable
+
+
+def test_search_size_cap():
+    events = [
+        make_event(f"e{i}", i % 3, float(i), RList.size(), 0, readonly=True)
+        for i in range(MAX_SEARCH_EVENTS + 1)
+    ]
+    history = History(events, RList(), well_formed=False)
+    with pytest.raises(ValueError):
+        find_bec_seq_execution(history)
+
+
+# ----------------------------------------------------------------------
+# Theorem 1
+# ----------------------------------------------------------------------
+def test_theorem1_history_admits_no_bec_seq_extension():
+    outcome = prove_impossibility()
+    assert not outcome.satisfiable
+    assert outcome.witness is None
+    # Every arbitration of the four events was examined.
+    assert outcome.arbitrations_tried == 24
+
+
+def test_theorem1_history_does_admit_fec_seq_witness():
+    witness = build_fec_witness()
+    assert witness.ok
+    assert witness.fec_weak.ok
+    assert witness.seq_strong.ok
+
+
+def test_relaxing_the_conflict_restores_satisfiability():
+    """Sanity: if the strong op had seen both updates ("abc"), the proof's
+    contradiction disappears and BEC ∧ Seq becomes satisfiable."""
+    base = build_theorem1_history()
+    events = []
+    for event in base.events:
+        if event.eid == "c":
+            events.append(
+                HistoryEvent(
+                    eid="c",
+                    session=event.session,
+                    op=event.op,
+                    level=event.level,
+                    invoke_time=event.invoke_time,
+                    return_time=event.return_time,
+                    rval="abc",
+                    timestamp=event.timestamp,
+                    tob_cast=True,
+                    tob_no=event.tob_no,
+                    perceived_trace=("a", "b"),
+                )
+            )
+        else:
+            events.append(event)
+    relaxed = History(events, RList())
+    assert find_bec_seq_execution(relaxed).satisfiable
+
+
+def test_read_direction_flip_is_also_impossible():
+    """Symmetric variant: r sees "ba" while the strong op (now on replica i,
+    seeing only a) returns "ac" — the mirrored contradiction."""
+    events = [
+        make_event("a", 0, 1.0, RList.append("a"), "a"),
+        make_event("b", 1, 2.0, RList.append("b"), "b"),
+        make_event("r", 2, 4.0, RList.read(), "ba", readonly=True),
+        make_event(
+            "c", 0, 5.0, RList.append("c"), "ac", level=STRONG, tob_no=1
+        ),
+    ]
+    history = History(events, RList())
+    assert not find_bec_seq_execution(history).satisfiable
+
+
+def test_generic_search_agrees_with_specialised_on_bec():
+    history = History(
+        [
+            make_event("a", 0, 1.0, RList.append("a"), "a"),
+            make_event("r", 1, 3.0, RList.read(), "a", readonly=True),
+        ],
+        RList(),
+    )
+    outcome = find_guarantee_execution(history, check_bec, WEAK)
+    assert outcome.satisfiable

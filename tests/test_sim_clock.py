@@ -1,0 +1,74 @@
+"""Unit tests for drifting local clocks."""
+
+import pytest
+
+from repro.sim.clock import DriftingClock, PerfectClock
+from repro.sim.kernel import Simulator
+
+
+def test_perfect_clock_tracks_simulator():
+    sim = Simulator()
+    clock = PerfectClock(sim)
+    assert clock.now() == 0.0
+    sim.advance_to(3.5)
+    assert clock.now() == 3.5
+
+
+def test_offset_shifts_local_time():
+    sim = Simulator()
+    clock = DriftingClock(sim, offset=-2.0)
+    sim.advance_to(10.0)
+    assert clock.now() == pytest.approx(8.0)
+
+
+def test_rate_scales_local_time():
+    sim = Simulator()
+    clock = DriftingClock(sim, rate=0.5)
+    sim.advance_to(10.0)
+    assert clock.now() == pytest.approx(5.0)
+
+
+def test_reads_are_strictly_monotonic_at_same_instant():
+    sim = Simulator()
+    clock = DriftingClock(sim)
+    first = clock.now()
+    second = clock.now()
+    third = clock.now()
+    assert first < second < third
+
+
+def test_monotonicity_across_time_and_repeated_reads():
+    sim = Simulator()
+    clock = DriftingClock(sim, rate=2.0)
+    samples = [clock.now(), clock.now()]
+    sim.advance_to(1.0)
+    samples.extend([clock.now(), clock.now()])
+    assert samples == sorted(samples)
+    assert len(set(samples)) == len(samples)
+
+
+def test_peek_does_not_consume_monotonic_tick():
+    sim = Simulator()
+    clock = DriftingClock(sim)
+    sim.advance_to(2.0)
+    assert clock.peek() == clock.peek()
+
+
+def test_set_rate_keeps_local_time_continuous():
+    sim = Simulator()
+    clock = DriftingClock(sim, rate=1.0)
+    sim.advance_to(10.0)
+    before = clock.peek()
+    clock.set_rate(0.25)
+    assert clock.peek() == pytest.approx(before)
+    sim.advance_to(14.0)
+    assert clock.peek() == pytest.approx(before + 0.25 * 4.0)
+
+
+def test_invalid_rates_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DriftingClock(sim, rate=0.0)
+    clock = DriftingClock(sim)
+    with pytest.raises(ValueError):
+        clock.set_rate(-1.0)

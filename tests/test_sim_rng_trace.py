@@ -1,0 +1,63 @@
+"""Unit tests for seeded RNG streams and the trace log."""
+
+from repro.sim.rng import SeededRngRegistry
+from repro.sim.trace import TraceLog
+
+
+def test_same_seed_same_stream():
+    a = SeededRngRegistry(42).stream("net")
+    b = SeededRngRegistry(42).stream("net")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    registry = SeededRngRegistry(42)
+    first = [registry.stream("one").random() for _ in range(5)]
+    second = [registry.stream("two").random() for _ in range(5)]
+    assert first != second
+
+
+def test_stream_is_cached():
+    registry = SeededRngRegistry(7)
+    assert registry.stream("x") is registry.stream("x")
+
+
+def test_creation_order_does_not_matter():
+    r1 = SeededRngRegistry(9)
+    r1.stream("a")
+    value_b1 = r1.stream("b").random()
+    r2 = SeededRngRegistry(9)
+    value_b2 = r2.stream("b").random()
+    assert value_b1 == value_b2
+
+
+def test_fork_is_deterministic_and_distinct():
+    base = SeededRngRegistry(1)
+    fork_a = base.fork("child")
+    fork_b = SeededRngRegistry(1).fork("child")
+    assert fork_a.stream("s").random() == fork_b.stream("s").random()
+    assert base.stream("s").random() != SeededRngRegistry(1).fork(
+        "other"
+    ).stream("s").random()
+
+
+def test_trace_record_and_filters():
+    log = TraceLog()
+    log.record(1.0, 0, "send", to=1)
+    log.record(2.0, 1, "recv", source=0)
+    log.record(3.0, 0, "send", to=2)
+    assert len(log) == 3
+    assert log.count(kind="send") == 2
+    assert log.count(process=1) == 1
+    sends_from_zero = log.entries(kind="send", process=0)
+    assert [entry.time for entry in sends_from_zero] == [1.0, 3.0]
+
+
+def test_trace_predicate_filter_and_last():
+    log = TraceLog()
+    log.record(1.0, 0, "exec", dot=(0, 1))
+    log.record(2.0, 0, "exec", dot=(0, 2))
+    assert log.last(kind="exec").data["dot"] == (0, 2)
+    assert log.last(kind="missing") is None
+    only_second = log.entries(predicate=lambda e: e.data["dot"] == (0, 2))
+    assert len(only_second) == 1

@@ -1,0 +1,125 @@
+"""Unit tests for StateObject (Algorithm 3): execute/rollback with undo logs."""
+
+import pytest
+
+from repro.core.request import Req
+from repro.core.state_object import RollbackError, StateObject
+from repro.datatypes.bank import BankAccounts
+from repro.datatypes.counter import Counter
+from repro.datatypes.kvstore import KVStore
+from repro.datatypes.rlist import RList
+
+
+def make_req(no, op, ts=None):
+    return Req(timestamp=float(ts if ts is not None else no), dot=(0, no), strong=False, op=op)
+
+
+def test_execute_returns_response_and_mutates():
+    state = StateObject(Counter())
+    assert state.execute(make_req(1, Counter.increment(5))) == 5
+    assert state.execute(make_req(2, Counter.increment(2))) == 7
+
+
+def test_rollback_restores_previous_value():
+    state = StateObject(Counter())
+    state.execute(make_req(1, Counter.increment(5)))
+    req2 = make_req(2, Counter.increment(2))
+    state.execute(req2)
+    state.rollback(req2)
+    assert state.execute(make_req(3, Counter.read())) == 5
+
+
+def test_rollback_to_empty_state():
+    state = StateObject(RList())
+    req = make_req(1, RList.append("a"))
+    state.execute(req)
+    state.rollback(req)
+    assert state.snapshot() == {}
+
+
+def test_rollback_must_be_lifo():
+    state = StateObject(Counter())
+    req1 = make_req(1, Counter.increment(1))
+    req2 = make_req(2, Counter.increment(1))
+    state.execute(req1)
+    state.execute(req2)
+    with pytest.raises(RollbackError):
+        state.rollback(req1)
+
+
+def test_rollback_unknown_request_rejected():
+    state = StateObject(Counter())
+    with pytest.raises(RollbackError):
+        state.rollback(make_req(9, Counter.increment(1)))
+
+
+def test_rollback_entire_suffix_equals_prefix_replay():
+    """Rolling back a suffix leaves exactly the prefix's state."""
+    state = StateObject(RList())
+    ops = [RList.append(c) for c in "abcdef"]
+    requests = [make_req(i + 1, op) for i, op in enumerate(ops)]
+    for request in requests:
+        state.execute(request)
+    for request in reversed(requests[3:]):
+        state.rollback(request)
+    reference = StateObject(RList())
+    for request in requests[:3]:
+        reference.execute(request)
+    assert state.snapshot() == reference.snapshot()
+
+
+def test_undo_only_touches_written_registers():
+    """A transaction's undo map covers only the registers it wrote."""
+    state = StateObject(BankAccounts())
+    state.execute(make_req(1, BankAccounts.deposit("a", 100)))
+    state.execute(make_req(2, BankAccounts.deposit("b", 50)))
+    transfer = make_req(3, BankAccounts.transfer("a", "b", 10))
+    state.execute(transfer)
+    state.rollback(transfer)
+    assert state.execute(make_req(4, BankAccounts.balance("a"))) == 100
+    assert state.execute(make_req(5, BankAccounts.balance("b"))) == 50
+
+
+def test_failed_guarded_operation_rolls_back_cleanly():
+    """withdraw over the balance writes nothing; rollback is a no-op."""
+    state = StateObject(BankAccounts())
+    withdraw = make_req(1, BankAccounts.withdraw("a", 10))
+    assert state.execute(withdraw) is None
+    state.rollback(withdraw)
+    assert state.snapshot() == {}
+
+
+def test_reexecution_after_rollback_gets_fresh_undo():
+    state = StateObject(Counter())
+    req1 = make_req(1, Counter.increment(1))
+    req2 = make_req(2, Counter.increment(10))
+    state.execute(req1)
+    state.execute(req2)
+    state.rollback(req2)
+    state.rollback(req1)
+    # Re-execute in the opposite order; each execution logs a fresh undo.
+    state.execute(req2)
+    state.execute(req1)
+    state.rollback(req1)
+    assert state.execute(make_req(3, Counter.read())) == 10
+
+
+def test_live_requests_tracks_execution_order():
+    state = StateObject(Counter())
+    req1 = make_req(1, Counter.increment(1))
+    req2 = make_req(2, Counter.increment(1))
+    state.execute(req1)
+    state.execute(req2)
+    assert state.live_requests == [(0, 1), (0, 2)]
+    state.rollback(req2)
+    assert state.live_requests == [(0, 1)]
+
+
+def test_remove_then_rollback_restores_binding():
+    state = StateObject(KVStore())
+    put = make_req(1, KVStore.put("k", "v"))
+    remove = make_req(2, KVStore.remove("k"))
+    state.execute(put)
+    state.execute(remove)
+    state.rollback(remove)
+    assert state.execute(make_req(3, KVStore.get("k"))) == "v"

@@ -1,0 +1,161 @@
+"""Contract tests both TOB engines must satisfy (paper's Appendix A.2.1).
+
+Both the fixed-sequencer engine and Multi-Paxos are exercised through the
+same scenarios: total order, FIFO per sender, at-most-once per key, and
+agreement once connectivity allows.
+"""
+
+import pytest
+
+from repro.broadcast.failure_detector import OmegaFailureDetector
+from repro.broadcast.paxos import PaxosTOB
+from repro.broadcast.sequencer import SequencerTOB
+from repro.net.network import FixedLatency, Network
+from repro.net.node import RoutingNode
+from repro.net.partition import PartitionSchedule
+from repro.sim.kernel import Simulator
+
+
+class Harness:
+    """A little TOB test rig: n endpoints and their delivery logs."""
+
+    def __init__(self, engine, n=3, partitions=None):
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim, n, latency=FixedLatency(1.0), partitions=partitions
+        )
+        self.nodes = [RoutingNode(self.sim, self.network, pid) for pid in range(n)]
+        self.delivered = {pid: [] for pid in range(n)}
+        self.endpoints = []
+        self.omegas = []
+        for node in self.nodes:
+            deliver = lambda key, payload, pid=node.pid: self.delivered[pid].append(key)
+            if engine == "sequencer":
+                self.endpoints.append(SequencerTOB(node, deliver))
+            else:
+                omega = OmegaFailureDetector(
+                    node, heartbeat_interval=3.0, timeout=10.0
+                )
+                self.omegas.append(omega)
+                self.sim.schedule(0.0, omega.start)
+                self.endpoints.append(
+                    PaxosTOB(node, deliver, omega, retry_interval=8.0)
+                )
+
+    def run(self, until=None):
+        if self.omegas:
+            self.sim.run(until=until if until is not None else 500.0)
+        else:
+            self.sim.run(until=until)
+
+    def shutdown(self):
+        for endpoint in self.endpoints:
+            endpoint.stop()
+        for omega in self.omegas:
+            omega.stop()
+        self.sim.run()
+
+
+ENGINES = ["sequencer", "paxos"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_single_cast_delivered_everywhere(engine):
+    rig = Harness(engine)
+    rig.endpoints[1].tob_cast("k1", "payload")
+    rig.run()
+    rig.shutdown()
+    assert all(rig.delivered[pid] == ["k1"] for pid in range(3))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_total_order_is_identical_everywhere(engine):
+    rig = Harness(engine)
+    for index in range(5):
+        rig.endpoints[index % 3].tob_cast(f"k{index}", index)
+    rig.run()
+    rig.shutdown()
+    orders = [rig.delivered[pid] for pid in range(3)]
+    assert orders[0] == orders[1] == orders[2]
+    assert sorted(orders[0]) == [f"k{i}" for i in range(5)]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_fifo_per_sender(engine):
+    rig = Harness(engine)
+    for index in range(6):
+        rig.endpoints[0].tob_cast(f"s0-{index}", index)
+    rig.run()
+    rig.shutdown()
+    order = rig.delivered[1]
+    positions = {key: order.index(key) for key in order}
+    for index in range(5):
+        assert positions[f"s0-{index}"] < positions[f"s0-{index + 1}"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_duplicate_keys_ordered_once(engine):
+    rig = Harness(engine)
+    rig.endpoints[0].tob_cast("dup", 1)
+    rig.endpoints[0].tob_cast("dup", 1)
+    rig.endpoints[1].tob_cast("dup", 1)
+    rig.run()
+    rig.shutdown()
+    assert rig.delivered[2] == ["dup"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_agreement_after_partition_heals(engine):
+    partitions = PartitionSchedule(3)
+    partitions.split(0.0, [[0, 1], [2]])
+    partitions.heal(60.0)
+    rig = Harness(engine, partitions=partitions)
+    rig.endpoints[2].tob_cast("from-minority", None)
+    rig.endpoints[0].tob_cast("from-majority", None)
+    rig.run(until=400.0)
+    rig.shutdown()
+    assert rig.delivered[0] == rig.delivered[1] == rig.delivered[2]
+    assert sorted(rig.delivered[0]) == ["from-majority", "from-minority"]
+
+
+def test_paxos_survives_leader_crash():
+    """The quorum-based engine makes progress after its leader fails —
+    exactly the fault-tolerance gap of primary/sequencer approaches that
+    Section 2.3 points out."""
+    rig = Harness("paxos")
+    rig.endpoints[0].tob_cast("before", None)
+    rig.run(until=40.0)
+    rig.nodes[0].crash()
+    rig.endpoints[1].tob_cast("after", None)
+    rig.run(until=400.0)
+    rig.shutdown()
+    assert "after" in rig.delivered[1]
+    assert "after" in rig.delivered[2]
+    assert rig.delivered[1] == rig.delivered[2]
+
+
+def test_sequencer_stalls_when_sequencer_isolated():
+    """The flip side: a partitioned-away sequencer blocks TOB for everyone
+    else (an asynchronous run in the paper's sense)."""
+    partitions = PartitionSchedule(3)
+    partitions.split(0.0, [[0], [1, 2]])
+    rig = Harness("sequencer", partitions=partitions)
+    rig.endpoints[1].tob_cast("stuck", None)
+    rig.run(until=200.0)
+    assert rig.delivered[1] == []
+    assert rig.delivered[2] == []
+
+
+def test_paxos_minority_cannot_decide():
+    """A minority component must not decide (no quorum)."""
+    partitions = PartitionSchedule(3)
+    partitions.split(0.0, [[0], [1, 2]])
+    rig = Harness("paxos", partitions=partitions)
+    rig.endpoints[0].tob_cast("minority", None)
+    rig.run(until=200.0)
+    assert rig.delivered[0] == []
+    # The majority side is intact and can decide its own submissions.
+    rig.endpoints[1].tob_cast("majority", None)
+    rig.run(until=500.0)
+    assert "majority" in rig.delivered[1]
+    assert "minority" not in rig.delivered[1]
