@@ -12,51 +12,46 @@ differs from their value in the final order, using the library's
 ``stable_vs_tentative_mismatches`` metric.
 """
 
-from repro import BankAccounts, BayouCluster, BayouConfig, ORIGINAL
+from repro import BankAccounts, Scenario
 from repro.analysis.metrics import stable_vs_tentative_mismatches
-from repro.analysis.experiments.common import tob_delay_filter
-from repro.net.faults import MessageFilter
 
 
 def run(strong_withdrawals: bool) -> None:
-    filters = MessageFilter()
-    tob_delay_filter(filters, 15.0)  # consensus is slower than gossip
-    config = BayouConfig(
-        n_replicas=2,
-        message_delay=1.0,
-        exec_delay=0.2,
-        clock_offsets={1: -0.5},
-    )
-    cluster = BayouCluster(
-        BankAccounts(), config, protocol=ORIGINAL, filters=filters
+    result = (
+        Scenario(BankAccounts(), name="bank-transfers")
+        .replicas(2)
+        .protocol("original")
+        .message_delay(1.0)
+        .exec_delay(0.2)
+        .clock_drift(1, offset=-0.5)
+        .tob_extra_delay(15.0)  # consensus is slower than gossip
+        # Seed the account, replicated everywhere.
+        .invoke(1.0, 0, BankAccounts.deposit("joint", 100))
+        # Two racing withdrawals against the same balance: only one can
+        # succeed in any serial order, but both may tentatively succeed.
+        .invoke(
+            10.0, 0, BankAccounts.withdraw("joint", 80),
+            strong=strong_withdrawals, label="withdraw-R0",
+        )
+        .invoke(
+            10.2, 1, BankAccounts.withdraw("joint", 80),
+            strong=strong_withdrawals, label="withdraw-R1",
+        )
+        .run(well_formed=False)
     )
 
-    # Seed the account, replicated everywhere.
-    cluster.schedule_invoke(1.0, 0, BankAccounts.deposit("joint", 100))
-
-    # Two racing withdrawals against the same balance: only one can succeed
-    # in any serial order, but both may tentatively succeed.
-    cluster.schedule_invoke(
-        10.0, 0, BankAccounts.withdraw("joint", 80), strong=strong_withdrawals
-    )
-    cluster.schedule_invoke(
-        10.2, 1, BankAccounts.withdraw("joint", 80), strong=strong_withdrawals
-    )
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history(well_formed=False)
     label = "STRONG" if strong_withdrawals else "WEAK"
     print(f"--- {label} withdrawals ---")
-    for event in history:
+    for event in result.history:
         if event.op.name != "withdraw":
             continue
         outcome = "dispensed cash" if event.rval is not None else "declined"
         print(f"  {event.eid}: withdraw(80) -> {event.rval!r:6} ({outcome})")
-    mismatches = stable_vs_tentative_mismatches(history)
-    balance = cluster.replicas[0].state.snapshot().get("bank:joint")
+    mismatches = stable_vs_tentative_mismatches(result.history)
+    balance = result.query(BankAccounts.balance("joint"))
     print(f"  final balance: {balance}")
     print(f"  answers later contradicted by the final order: {mismatches}")
-    print(f"  converged: {cluster.converged()}\n")
+    print(f"  converged: {result.converged}\n")
 
 
 def main() -> None:

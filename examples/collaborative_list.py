@@ -4,10 +4,14 @@ Replays the exact execution from the paper — a shared list, a weak
 ``append("x")`` racing a strong ``duplicate()`` — and prints what each
 client sees, why the orders disagree, and what the formal framework says
 about the run. A compact tour of temporary operation reordering.
+
+The schedule itself is ``figure1_scenario()``, a declarative
+:class:`repro.Scenario`; ``run_figure1`` runs it and collects the paper's
+observables.
 """
 
+from repro import MODIFIED, ORIGINAL
 from repro.analysis.experiments.figure1 import run_figure1
-from repro.core.cluster import MODIFIED, ORIGINAL
 
 
 def narrate(protocol: str) -> None:

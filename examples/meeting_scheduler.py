@@ -6,78 +6,67 @@ weakly connected laptops. This example recreates it on our reproduction:
 - *tentative holds* are **weak** ``put_if_absent`` calls: they respond
   immediately (even while the laptop is partitioned from the office) but
   the answer may be reversed once the final order is established;
-- *confirmed bookings* are **strong** ``put_if_absent`` calls: the answer
-  is final, because it is computed in the TOB-committed order — exactly the
-  operation Section 1 of the PODC'19 paper says requires consensus.
+- *confirmed bookings* are **strong** calls: the answer is final, because
+  it is computed in the TOB-committed order — exactly the operation
+  Section 1 of the PODC'19 paper says requires consensus.
 
 The scenario: Alice (on a partitioned laptop) and Bob both try to grab the
 same room. Both tentative holds say "yes" — a classic eventual-consistency
 conflict. The strong confirmations, however, give exactly one "yes".
 """
 
-from repro import BayouCluster, BayouConfig, KVStore, MODIFIED
-from repro.net.partition import PartitionSchedule
+from repro import KVStore, Scenario
 
 ROOM = "meeting-room-1@friday-10am"
 
 
 def main() -> None:
-    partitions = PartitionSchedule(3)
-    partitions.split(2.0, [[0], [1, 2]])   # Alice's laptop (replica 0) offline
-    partitions.heal(40.0)
-
-    # The consensus sequencer lives on the office server (replica 2), not
-    # on Alice's partitioned laptop.
-    config = BayouConfig(
-        n_replicas=3, message_delay=1.0, exec_delay=0.05, sequencer_pid=2
+    result = (
+        Scenario(KVStore(), name="meeting-scheduler")
+        .replicas(3)
+        .protocol("modified")
+        .message_delay(1.0)
+        .exec_delay(0.05)
+        # The consensus sequencer lives on the office server (replica 2),
+        # not on Alice's partitioned laptop.
+        .tob("sequencer", sequencer=2)
+        .partition(2.0, [[0], [1, 2]])   # Alice's laptop (replica 0) offline
+        .heal(40.0)
+        # During the partition both grab the room tentatively...
+        .invoke(
+            5.0, 0, KVStore.put_if_absent(ROOM, "alice"),
+            label="alice tentative hold",
+        )
+        .invoke(
+            6.0, 1, KVStore.put_if_absent(ROOM, "bob"),
+            label="bob tentative hold",
+        )
+        # ...and both then ask for the confirmed verdict. Bob is connected
+        # to the sequencer; Alice's confirmation completes after the heal.
+        .invoke(8.0, 1, KVStore.get(ROOM), strong=True, label="bob confirmation")
+        .invoke(9.0, 0, KVStore.get(ROOM), strong=True, label="alice confirmation")
+        .run(well_formed=False)
     )
-    cluster = BayouCluster(
-        KVStore(), config, protocol=MODIFIED, partitions=partitions
-    )
 
-    outcomes = {}
-
-    def hold(name: str, pid: int) -> None:
-        request = cluster.invoke(pid, KVStore.put_if_absent(ROOM, name))
-        outcomes[f"{name} tentative hold"] = request
-
-    def confirm(name: str, pid: int) -> None:
-        # A strong read: the authoritative, final owner of the room.
-        request = cluster.invoke(pid, KVStore.get(ROOM), strong=True)
-        outcomes[f"{name} confirmation"] = request
-
-    # During the partition both grab the room tentatively...
-    cluster.sim.schedule_at(5.0, lambda: hold("alice", 0))
-    cluster.sim.schedule_at(6.0, lambda: hold("bob", 1))
-    # ...and both then ask for the confirmed verdict. Bob is connected to
-    # the sequencer; Alice's confirmation can only complete after the heal.
-    cluster.sim.schedule_at(8.0, lambda: confirm("bob", 1))
-    cluster.sim.schedule_at(9.0, lambda: confirm("alice", 0))
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history(well_formed=False)
     print("Tentative holds (weak, answered immediately, even offline):")
-    for label, request in outcomes.items():
+    for label, future in result.futures.items():
         if "hold" not in label:
             continue
-        event = history.event(request.dot)
-        verdict = "got the room (tentatively!)" if event.rval else "room taken"
-        print(f"  {label:24s} -> {event.rval!s:5s} ({verdict})")
+        verdict = "got the room (tentatively!)" if future.value else "room taken"
+        print(f"  {label:24s} -> {future.value!s:5s} ({verdict})")
 
     print("\nConfirmations (strong, final — computed in the agreed order):")
-    for label, request in outcomes.items():
+    for label, future in result.futures.items():
         if "confirmation" not in label:
             continue
-        event = history.event(request.dot)
-        wait = event.return_time - event.invoke_time
         print(
-            f"  {label:24s} -> room belongs to {event.rval!r} "
-            f"(answered after {wait:.1f}s)"
+            f"  {label:24s} -> room belongs to {future.value!r} "
+            f"(answered after {future.latency:.1f}s)"
         )
 
-    final_owner = cluster.replicas[2].state.snapshot().get(f"kv:{ROOM!r}")
-    print(f"\nFinal owner everywhere: {final_owner[1]!r}")
-    print("converged:", cluster.converged())
+    final_owner = result.query(KVStore.get(ROOM))
+    print(f"\nFinal owner everywhere: {final_owner!r}")
+    print("converged:", result.converged)
     print(
         "\nBoth tentative holds said yes (the classic offline conflict); "
         "the strong reads agree on a single owner once consensus has "

@@ -6,17 +6,19 @@ answering on both sides, R2's strong operation blocks, and the two sides
 drift apart. After the heal — back in a *stable run* — TOB resumes,
 replicas reconcile (rolling back and re-executing tentative work as
 needed), and the blocked strong operation finally returns.
+
+Uses ``Scenario.build()`` to get the live run handle, so the cluster can be
+inspected mid-partition before running on to quiescence.
 """
 
-from repro import BayouCluster, BayouConfig, MODIFIED, RList
-from repro.net.partition import PartitionSchedule
+from repro import RList, Scenario
 
 HEAL_AT = 60.0
 
 
-def show_states(cluster, moment: str) -> None:
-    print(f"\n[{moment}] t={cluster.sim.now:.1f}")
-    for replica in cluster.replicas:
+def show_states(run, moment: str) -> None:
+    print(f"\n[{moment}] t={run.now:.1f}")
+    for replica in run.cluster.replicas:
         committed = "".join(r.op.args[0] for r in replica.committed if r.op.args)
         tentative = "".join(r.op.args[0] for r in replica.tentative if r.op.args)
         print(
@@ -26,47 +28,39 @@ def show_states(cluster, moment: str) -> None:
 
 
 def main() -> None:
-    partitions = PartitionSchedule(3)
-    partitions.split(5.0, [[0, 1], [2]])
-    partitions.heal(HEAL_AT)
-    config = BayouConfig(n_replicas=3, message_delay=1.0, exec_delay=0.05)
-    cluster = BayouCluster(
-        RList(), config, protocol=MODIFIED, partitions=partitions
+    run = (
+        Scenario(RList(), name="partition-demo")
+        .replicas(3)
+        .protocol("modified")
+        .message_delay(1.0)
+        .exec_delay(0.05)
+        .partition(5.0, [[0, 1], [2]])
+        .heal(HEAL_AT)
+        # Before the split: shared prefix.
+        .invoke(1.0, 0, RList.append("s"), label="shared")
+        # During the split: both sides keep working weakly.
+        .invoke(10.0, 0, RList.append("m"), label="major1")
+        .invoke(12.0, 2, RList.append("i"), label="minor1")
+        .invoke(15.0, 2, RList.read(), strong=True, label="minor-strong")
+        .invoke(20.0, 1, RList.append("n"), label="major2")
+        .build()
     )
 
-    requests = {}
-
-    def invoke(name, pid, op, strong=False):
-        requests[name] = cluster.invoke(pid, op, strong=strong)
-
-    # Before the split: shared prefix.
-    cluster.sim.schedule_at(1.0, lambda: invoke("shared", 0, RList.append("s")))
-    # During the split: both sides keep working weakly.
-    cluster.sim.schedule_at(10.0, lambda: invoke("major1", 0, RList.append("m")))
-    cluster.sim.schedule_at(12.0, lambda: invoke("minor1", 2, RList.append("i")))
-    cluster.sim.schedule_at(
-        15.0, lambda: invoke("minor-strong", 2, RList.read(), True)
-    )
-    cluster.sim.schedule_at(20.0, lambda: invoke("major2", 1, RList.append("n")))
-
-    cluster.run(until=HEAL_AT - 5.0)
-    show_states(cluster, "mid-partition (asynchronous run)")
-    history = cluster.build_history(well_formed=False)
-    for name, request in requests.items():
-        event = history.event(request.dot)
-        status = "PENDING" if event.pending else repr(event.rval)
+    run.run(until=HEAL_AT - 5.0)
+    show_states(run, "mid-partition (asynchronous run)")
+    for name, future in run.futures.items():
+        status = "PENDING" if future.pending else repr(future.value)
         print(f"  {name:13s} -> {status}")
 
-    cluster.run_until_quiescent()
-    show_states(cluster, "after heal (stable run)")
-    history = cluster.build_history(well_formed=False)
-    strong_event = history.event(requests["minor-strong"].dot)
+    run.run_until_quiescent()
+    show_states(run, "after heal (stable run)")
+    strong = run.futures["minor-strong"]
     print(
-        f"  minor-strong finally returned {strong_event.rval!r} at "
-        f"t={strong_event.return_time:.1f} "
-        f"(blocked for {strong_event.return_time - strong_event.invoke_time:.1f})"
+        f"  minor-strong finally returned {strong.value!r} at "
+        f"t={strong.response_time:.1f} "
+        f"(blocked for {strong.latency:.1f})"
     )
-    print(f"  converged: {cluster.converged()}")
+    print(f"  converged: {run.converged()}")
 
 
 if __name__ == "__main__":

@@ -4,48 +4,42 @@ Run with::
 
     python examples/quickstart.py
 
-Shows the core API: build a cluster over a replicated data type, invoke
+Shows the core API: declare a Scenario over a replicated data type, invoke
 weak (highly available, tentative) and strong (consensus-backed) operations,
-run the simulation to quiescence, and check the run against the paper's
-correctness criteria (FEC for weak operations, Seq for strong ones).
+run it, and check the run against the paper's correctness criteria (FEC for
+weak operations, Seq for strong ones) — all from one fluent builder.
 """
 
-from repro import (
-    BayouCluster,
-    BayouConfig,
-    Counter,
-    MODIFIED,
-    build_abstract_execution,
-    check_fec,
-    check_seq,
-)
+from repro import Counter, Scenario
 
 
 def main() -> None:
-    config = BayouConfig(n_replicas=3, message_delay=1.0, exec_delay=0.05)
-    cluster = BayouCluster(Counter(), config, protocol=MODIFIED)
+    result = (
+        Scenario(Counter(), name="quickstart")
+        .replicas(3)
+        .protocol("modified")
+        .message_delay(1.0)
+        .exec_delay(0.05)
+        # Weak operations: replied immediately from the local (tentative)
+        # state.
+        .invoke(1.0, 0, Counter.increment(10), label="inc-10")
+        .invoke(1.5, 1, Counter.increment(5), label="inc-5")
+        # A strong operation: the response reflects the final, TOB-agreed
+        # order.
+        .invoke(3.0, 2, Counter.read(), strong=True, label="strong-read")
+        # Post-stabilisation probes give the liveness checks witnesses;
+        # then Theorem 2's guarantees are verified on this very run.
+        .probes(Counter.read)
+        .checks(fec="weak", seq="strong")
+        .run()
+    )
 
-    # Weak operations: replied immediately from the local (tentative) state.
-    cluster.schedule_invoke(1.0, 0, Counter.increment(10))
-    cluster.schedule_invoke(1.5, 1, Counter.increment(5))
-    # A strong operation: the response reflects the final, TOB-agreed order.
-    cluster.schedule_invoke(3.0, 2, Counter.read(), strong=True)
+    print("converged:", result.converged)
+    print("replica 0 state:", result.cluster.replicas[0].state.snapshot())
+    print(result.check("fec:weak").summary())
+    print(result.check("seq:strong").summary())
 
-    cluster.run_until_quiescent()
-    print("converged:", cluster.converged())
-    print("replica 0 state:", cluster.replicas[0].state.snapshot())
-
-    # Issue post-stabilisation probes so the liveness checks have witnesses,
-    # then verify Theorem 2's guarantees on this very run.
-    cluster.add_horizon_probes(Counter.read)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    execution = build_abstract_execution(history)
-    print(check_fec(execution, "weak").summary())
-    print(check_seq(execution, "strong").summary())
-
-    for event in history:
+    for event in result.history:
         print(
             f"  {event.eid} {event.op!r:20} [{event.level:6}] -> {event.rval!r}"
         )

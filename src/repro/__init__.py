@@ -3,14 +3,39 @@ Bayou revisited" (Kokociński, Kobus, Wojciechowski; PODC 2019).
 
 Public API tour
 ---------------
-Protocol::
+Scenarios — declare an experiment, run it, assert on the result::
 
-    from repro import BayouCluster, BayouConfig, RList
+    from repro import Scenario, RList
 
-    cluster = BayouCluster(RList(), BayouConfig(n_replicas=3))
-    cluster.invoke(0, RList.append("a"))                 # weak
-    cluster.invoke(1, RList.duplicate(), strong=True)    # strong
+    result = (
+        Scenario(RList())
+        .replicas(3)
+        .protocol("modified")
+        .invoke(1.0, 0, RList.append("a"), label="a")
+        .invoke(2.0, 1, RList.duplicate(), strong=True, label="dup")
+        .probes(RList.read)
+        .checks(fec="weak", seq="strong")
+        .run()
+    )
+    result.responses["dup"]          # the strong op's (final) answer
+    result.check("fec:weak").ok      # Theorem 2, checked on this run
+    result.converged                 # all replicas agree
+
+Sessions — typed, futures-based clients over a live cluster::
+
+    from repro import BayouCluster, BayouConfig, Counter
+
+    cluster = BayouCluster(Counter(), BayouConfig(n_replicas=3))
+    session = cluster.connect(0)
+    future = session.increment(10)          # weak: OpFuture, queued
+    confirm = session.strong.read()         # strong: final once responded
     cluster.run_until_quiescent()
+    future.value, future.latency, future.stable
+
+Each :class:`~repro.core.session.OpFuture` moves pending → responded →
+stable; callbacks (``add_done_callback`` / ``add_stable_callback``) hook
+both transitions. Data types declare their operations via descriptors, so
+``session.increment`` and ``Counter.increment`` come from one registry.
 
 Formal framework::
 
@@ -28,26 +53,36 @@ Impossibility (Theorem 1)::
 """
 
 from repro.core.cluster import BayouCluster, MODIFIED, ORIGINAL
-from repro.core.client import ClientSession
 from repro.core.config import BayouConfig
 from repro.core.modified_replica import ModifiedBayouReplica
 from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
+from repro.core.session import ClientSession, OpFuture, Session
 from repro.core.state_object import StateObject
 from repro.datatypes import (
     BankAccounts,
     Counter,
+    DataType,
     KVStore,
+    MeetingScheduler,
     Operation,
     Register,
     RList,
     SetType,
 )
+from repro.errors import (
+    DivergedOrderError,
+    PendingResponseError,
+    ReproError,
+    SessionProtocolError,
+    UnknownOperationError,
+)
 from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
+from repro.scenario import LiveRun, RunResult, Scenario
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "BankAccounts",
@@ -56,21 +91,33 @@ __all__ = [
     "BayouReplica",
     "ClientSession",
     "Counter",
+    "DataType",
+    "DivergedOrderError",
     "Dot",
     "History",
     "HistoryEvent",
     "KVStore",
+    "LiveRun",
     "MODIFIED",
+    "MeetingScheduler",
     "ModifiedBayouReplica",
     "ORIGINAL",
+    "OpFuture",
     "Operation",
     "PENDING",
+    "PendingResponseError",
     "Register",
     "Req",
+    "ReproError",
     "RList",
+    "RunResult",
     "STRONG",
+    "Scenario",
+    "Session",
+    "SessionProtocolError",
     "SetType",
     "StateObject",
+    "UnknownOperationError",
     "WEAK",
     "__version__",
     "build_abstract_execution",

@@ -1,40 +1,28 @@
-"""Shared helpers for experiment scenarios."""
+"""Shared fault-injection helpers for experiment scenarios.
+
+These imperative helpers predate the :class:`repro.scenario.Scenario`
+builder, which exposes the same adversarial schedules fluently
+(``.tob_extra_delay``, ``.delay_tob_for_dot``, ``.quarantine_dot``). Both
+delegate to the rule constructors in :mod:`repro.net.faults`; these
+wrappers remain for code that assembles a
+:class:`~repro.net.faults.MessageFilter` by hand.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
-from repro.net.faults import MessageFilter
+from repro.net.faults import (
+    MessageFilter,
+    delay_tob_for_dot_rule,
+    quarantine_dot_rule,
+    tob_delay_rule,
+)
 
 
 def tob_delay_filter(filters: MessageFilter, extra: float, *, tag: str = "seqtob") -> None:
-    """Add ``extra`` latency to every TOB-engine message.
-
-    The paper's Figure 1/2 schedules rely on the final order being
-    established well after the speculative executions ("message broadcast
-    through TOB" arrows are long); consensus being slower than gossip is
-    also the realistic regime.
-    """
-
-    def rule(_src: int, _dst: int, payload: Any, _time: float) -> Optional[Any]:
-        if isinstance(payload, tuple) and payload and payload[0] == tag:
-            return extra
-        return None
-
-    filters.add(rule)
-
-
-def _mentions_dot(value: Any, dot: Any) -> bool:
-    """Recursively search a payload structure for a request dot."""
-    if value == dot:
-        return True
-    if isinstance(value, (tuple, list)):
-        return any(_mentions_dot(item, dot) for item in value)
-    if hasattr(value, "dot"):
-        return value.dot == dot
-    if isinstance(value, dict):  # pragma: no cover - payloads are tuples today
-        return any(_mentions_dot(item, dot) for item in value.values())
-    return False
+    """Add ``extra`` latency to every TOB-engine message."""
+    filters.add(tob_delay_rule(extra, tag=tag))
 
 
 def delay_tob_for_dot(
@@ -45,39 +33,12 @@ def delay_tob_for_dot(
     *,
     tag: str = "seqtob",
 ) -> None:
-    """Delay only TOB-engine messages about ``dot`` into ``receiver``.
-
-    Used to steer the final order: e.g. hold a request's proposal back from
-    the sequencer so later requests commit first.
-    """
-
-    def rule(_src: int, dst: int, payload: Any, _time: float) -> Optional[Any]:
-        if (
-            dst == receiver
-            and isinstance(payload, tuple)
-            and payload
-            and payload[0] == tag
-            and _mentions_dot(payload, dot)
-        ):
-            return extra
-        return None
-
-    filters.add(rule)
+    """Delay only TOB-engine messages about ``dot`` into ``receiver``."""
+    filters.add(delay_tob_for_dot_rule(dot, receiver=receiver, extra=extra, tag=tag))
 
 
 def quarantine_dot_filter(
     filters: MessageFilter, dot: Any, receiver: int, extra: float
 ) -> None:
-    """Delay every message carrying ``dot`` into ``receiver`` by ``extra``.
-
-    Models the Theorem-1 adversary: replica j must not learn about event a
-    (by any route — RB, relay, or TOB delivery) until after the strong
-    operation returned.
-    """
-
-    def rule(_src: int, dst: int, payload: Any, _time: float) -> Optional[Any]:
-        if dst == receiver and _mentions_dot(payload, dot):
-            return extra
-        return None
-
-    filters.add(rule)
+    """Delay every message carrying ``dot`` into ``receiver`` by ``extra``."""
+    filters.add(quarantine_dot_rule(dot, receiver=receiver, extra=extra))

@@ -30,20 +30,17 @@ Paper-expected observables reproduced exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
-from repro.analysis.experiments.common import tob_delay_filter
 from repro.analysis.metrics import (
     count_reordering_witnesses,
     count_trace_final_discords,
 )
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import MODIFIED, ORIGINAL
 from repro.datatypes.rlist import RList
-from repro.framework.builder import build_abstract_execution
-from repro.framework.guarantees import GuaranteeReport, check_bec, check_fec, check_seq
-from repro.framework.history import History, WEAK, STRONG
-from repro.net.faults import MessageFilter
+from repro.framework.guarantees import GuaranteeReport
+from repro.framework.history import History
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -63,66 +60,47 @@ class Figure1Result:
     seq_strong: GuaranteeReport = field(repr=False, default=None)
 
 
+def figure1_scenario(
+    *, protocol: str = ORIGINAL, strong_append: bool = False
+) -> Scenario:
+    """The Figure 1 schedule as a declarative scenario."""
+    return (
+        Scenario(RList(), name="figure1")
+        .replicas(2)
+        .protocol(protocol)
+        .exec_delay(1.5)
+        .message_delay(1.0)
+        .clock_drift(1, offset=-0.5)
+        .tob("sequencer", sequencer=0)
+        .tob_extra_delay(10.0)
+        .invoke(1.0, 0, RList.append("a"), label="append_a")
+        .invoke(10.0, 0, RList.append("x"), strong=strong_append, label="append_x")
+        .invoke(10.2, 1, RList.duplicate(), strong=True, label="duplicate")
+        .probes(RList.read)
+        .checks(bec="weak", fec="weak", seq="strong")
+    )
+
+
 def run_figure1(
     *, protocol: str = ORIGINAL, strong_append: bool = False
 ) -> Figure1Result:
     """Run the Figure 1 schedule and return the measured observables."""
-    config = BayouConfig(
-        n_replicas=2,
-        exec_delay=1.5,
-        message_delay=1.0,
-        clock_offsets={1: -0.5},
-        sequencer_pid=0,
-    )
-    filters = MessageFilter()
-    tob_delay_filter(filters, 10.0)
-    cluster = BayouCluster(RList(), config, protocol=protocol, filters=filters)
-
-    requests: Dict[str, Any] = {}
-
-    def invoke(name: str, pid: int, op, strong: bool) -> None:
-        requests[name] = cluster.invoke(pid, op, strong=strong)
-
-    cluster.sim.schedule_at(1.0, lambda: invoke("append_a", 0, RList.append("a"), False))
-    cluster.sim.schedule_at(
-        10.0, lambda: invoke("append_x", 0, RList.append("x"), strong_append)
-    )
-    cluster.sim.schedule_at(
-        10.2, lambda: invoke("duplicate", 1, RList.duplicate(), True)
-    )
-    cluster.run_until_quiescent()
-
-    cluster.add_horizon_probes(RList.read)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    responses = {
-        name: history.event(req.dot).rval for name, req in requests.items()
-    }
-    execution = build_abstract_execution(history)
-    final_value = cluster.replicas[0].state.datatype.execute(
-        RList.read(), _snapshot_view(cluster)
-    )
+    result = figure1_scenario(
+        protocol=protocol, strong_append=strong_append
+    ).run()
     return Figure1Result(
         protocol=protocol,
         strong_append=strong_append,
-        responses=responses,
-        final_value=final_value,
-        converged=cluster.converged(),
-        reordering_witnesses=count_reordering_witnesses(history),
-        trace_final_discords=count_trace_final_discords(history),
-        history=history,
-        bec_weak=check_bec(execution, WEAK),
-        fec_weak=check_fec(execution, WEAK),
-        seq_strong=check_seq(execution, STRONG),
+        responses=result.responses,
+        final_value=result.query(RList.read()),
+        converged=result.converged,
+        reordering_witnesses=count_reordering_witnesses(result.history),
+        trace_final_discords=count_trace_final_discords(result.history),
+        history=result.history,
+        bec_weak=result.check("bec:weak"),
+        fec_weak=result.check("fec:weak"),
+        seq_strong=result.check("seq:strong"),
     )
-
-
-def _snapshot_view(cluster: BayouCluster):
-    """A read-only view over replica 0's converged register map."""
-    from repro.datatypes.base import PlainDb
-
-    return PlainDb(cluster.replicas[0].state.snapshot())
 
 
 def main() -> None:  # pragma: no cover - manual entry point

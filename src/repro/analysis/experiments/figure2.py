@@ -22,17 +22,14 @@ since the slow R1 has not even executed ``a`` yet).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
-from repro.analysis.experiments.common import tob_delay_filter
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import MODIFIED, ORIGINAL
 from repro.datatypes.rlist import RList
-from repro.framework.builder import build_abstract_execution
-from repro.framework.guarantees import GuaranteeReport, check_fec
-from repro.framework.history import History, WEAK
-from repro.framework.predicates import CheckResult, check_ncc
-from repro.net.faults import MessageFilter
+from repro.framework.guarantees import GuaranteeReport
+from repro.framework.history import History
+from repro.framework.predicates import CheckResult
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -49,47 +46,38 @@ class Figure2Result:
     history: History = field(repr=False, default=None)
 
 
+def figure2_scenario(*, protocol: str = ORIGINAL) -> Scenario:
+    """The Figure 2 schedule as a declarative scenario."""
+    return (
+        Scenario(RList(), name="figure2")
+        .replicas(2)
+        .protocol(protocol)
+        .exec_delay(1.5, overrides={1: 30.0})
+        .message_delay(1.0)
+        .clock_drift(1, offset=-0.5)
+        .tob("sequencer", sequencer=0)
+        .tob_extra_delay(10.0)
+        .invoke(1.0, 0, RList.append("a"), label="append_a")
+        .invoke(10.0, 0, RList.append("x"), label="append_x")
+        .invoke(10.2, 1, RList.append("y"), label="append_y")
+        .probes(RList.read)
+        .checks(fec="weak", ncc=True)
+    )
+
+
 def run_figure2(*, protocol: str = ORIGINAL) -> Figure2Result:
     """Run the Figure 2 schedule under the chosen protocol."""
-    config = BayouConfig(
-        n_replicas=2,
-        exec_delay=1.5,
-        exec_delay_overrides={1: 30.0},
-        message_delay=1.0,
-        clock_offsets={1: -0.5},
-        sequencer_pid=0,
-    )
-    filters = MessageFilter()
-    tob_delay_filter(filters, 10.0)
-    cluster = BayouCluster(RList(), config, protocol=protocol, filters=filters)
-
-    requests: Dict[str, Any] = {}
-
-    def invoke(name: str, pid: int, op) -> None:
-        requests[name] = cluster.invoke(pid, op, strong=False)
-
-    cluster.sim.schedule_at(1.0, lambda: invoke("append_a", 0, RList.append("a")))
-    cluster.sim.schedule_at(10.0, lambda: invoke("append_x", 0, RList.append("x")))
-    cluster.sim.schedule_at(10.2, lambda: invoke("append_y", 1, RList.append("y")))
-    cluster.run_until_quiescent()
-    cluster.add_horizon_probes(RList.read)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    responses = {
-        name: history.event(req.dot).rval for name, req in requests.items()
-    }
-    execution = build_abstract_execution(history)
-    ncc = check_ncc(execution)
+    result = figure2_scenario(protocol=protocol).run()
+    ncc = result.check("ncc")
     return Figure2Result(
         protocol=protocol,
-        responses=responses,
+        responses=result.responses,
         circular_causality=not ncc.ok,
         cycle_description=ncc.violations[0] if ncc.violations else "",
-        converged=cluster.converged(),
+        converged=result.converged,
         ncc=ncc,
-        fec_weak=check_fec(execution, WEAK),
-        history=history,
+        fec_weak=result.check("fec:weak"),
+        history=result.history,
     )
 
 

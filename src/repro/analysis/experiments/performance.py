@@ -13,16 +13,14 @@ The paper's qualitative performance claims, measured:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.analysis.metrics import LatencyStats
-from repro.analysis.workload import PROFILES, RandomWorkload
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import MODIFIED, ORIGINAL
 from repro.datatypes.counter import Counter
 from repro.framework.history import STRONG, WEAK
-from repro.net.partition import PartitionSchedule
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -46,45 +44,28 @@ def run_latency_split(
     seed: int = 1,
 ) -> LatencySplit:
     """Random counter workload; measure weak vs strong response latency."""
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=0.02,
-        message_delay=message_delay,
-        tob_engine=tob_engine,
-        seed=seed,
+    result = (
+        Scenario(Counter(), name="latency-split")
+        .replicas(n_replicas)
+        .protocol(protocol)
+        .exec_delay(0.02)
+        .message_delay(message_delay)
+        .tob(tob_engine)
+        .seed(seed)
+        .workload(
+            "counter",
+            ops_per_session=ops_per_session,
+            seed=seed,
+            strong_probability=0.4,
+        )
+        .run(well_formed=False, max_time=50_000.0)
     )
-    cluster = BayouCluster(Counter(), config, protocol=protocol)
-    workload = RandomWorkload(
-        cluster,
-        PROFILES["counter"](strong_probability=0.4),
-        ops_per_session=ops_per_session,
-        seed=seed,
-    )
-    workload.start()
-    if tob_engine == "paxos":
-        cluster.run_until_stable(max_time=50_000.0)
-        cluster.shutdown()
-        cluster.run_until_quiescent()
-    else:
-        cluster.run_until_quiescent()
-
-    history = cluster.build_history(well_formed=False)
-    weak_samples = [
-        event.return_time - event.invoke_time
-        for event in history.with_level(WEAK)
-        if event.return_time is not None
-    ]
-    strong_samples = [
-        event.return_time - event.invoke_time
-        for event in history.with_level(STRONG)
-        if event.return_time is not None
-    ]
     return LatencySplit(
         protocol=protocol,
         tob_engine=tob_engine,
         message_delay=message_delay,
-        weak=LatencyStats.from_samples(weak_samples),
-        strong=LatencyStats.from_samples(strong_samples),
+        weak=LatencyStats.from_samples(result.weak_latencies),
+        strong=LatencyStats.from_samples(result.strong_latencies),
     )
 
 
@@ -111,31 +92,21 @@ def run_partition_sweep(
     durations = durations if durations is not None else [0.0, 20.0, 50.0, 100.0]
     points = []
     for duration in durations:
-        partitions = PartitionSchedule(n_replicas)
+        scenario = (
+            Scenario(Counter(), name="partition-sweep")
+            .replicas(n_replicas)
+            .protocol(MODIFIED)
+            .exec_delay(0.02)
+            .message_delay(1.0)
+            .invoke(1.0, 0, Counter.increment(1))
+            .invoke(10.0, 2, Counter.increment(1))                       # weak
+            .invoke(11.0, 2, Counter.increment(1), strong=True)
+        )
         if duration > 0:
-            partitions.split(5.0, [[0, 1], [2]])
-            partitions.heal(5.0 + duration)
-        config = BayouConfig(
-            n_replicas=n_replicas, exec_delay=0.02, message_delay=1.0
-        )
-        cluster = BayouCluster(
-            Counter(), config, protocol=MODIFIED, partitions=partitions
-        )
-        cluster.schedule_invoke(1.0, 0, Counter.increment(1))
-        cluster.schedule_invoke(10.0, 2, Counter.increment(1))           # weak
-        cluster.schedule_invoke(11.0, 2, Counter.increment(1), strong=True)
-        cluster.run_until_quiescent()
-        history = cluster.build_history(well_formed=False)
-        weak = [
-            event.return_time - event.invoke_time
-            for event in history.with_level(WEAK)
-            if event.return_time is not None and event.session == 2
-        ]
-        strong = [
-            event.return_time - event.invoke_time
-            for event in history.with_level(STRONG)
-            if event.return_time is not None
-        ]
+            scenario.partition(5.0, [[0, 1], [2]]).heal(5.0 + duration)
+        result = scenario.run(well_formed=False)
+        weak = result.latencies(WEAK, session=2)
+        strong = result.latencies(STRONG)
         points.append(
             PartitionSweepPoint(
                 duration=duration,
@@ -169,27 +140,32 @@ def run_throughput(
     seed: int = 3,
 ) -> ThroughputPoint:
     """Closed-loop throughput of a mixed workload."""
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=0.02,
-        message_delay=0.5,
-        seed=seed,
+    live = (
+        Scenario(Counter(), name="throughput")
+        .replicas(n_replicas)
+        .protocol(protocol)
+        .exec_delay(0.02)
+        .message_delay(0.5)
+        .seed(seed)
+        .workload(
+            "counter",
+            ops_per_session=ops_per_session,
+            think_time=0.1,
+            seed=seed,
+            strong_probability=0.25,
+        )
+        .build()
     )
-    cluster = BayouCluster(Counter(), config, protocol=protocol)
-    workload = RandomWorkload(
-        cluster,
-        PROFILES["counter"](strong_probability=0.25),
-        ops_per_session=ops_per_session,
-        think_time=0.1,
-        seed=seed,
-    )
-    workload.start()
-    cluster.run_until_quiescent()
+    live.run_until_quiescent()
     return ThroughputPoint(
         protocol=protocol,
-        ops_completed=sum(s.completed for s in workload.sessions),
-        makespan=cluster.sim.now,
-        rollbacks=sum(r.rollback_count for r in cluster.replicas),
+        ops_completed=sum(
+            session.completed
+            for workload in live.workloads
+            for session in workload.sessions
+        ),
+        makespan=live.now,
+        rollbacks=sum(r.rollback_count for r in live.cluster.replicas),
     )
 
 

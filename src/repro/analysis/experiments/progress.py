@@ -23,11 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-from repro.analysis.experiments.common import tob_delay_filter
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import MODIFIED, ORIGINAL
 from repro.datatypes.counter import Counter
-from repro.net.faults import MessageFilter
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -67,35 +65,31 @@ def run_slow_replica(
     slow_exec_delay > delta_t`` time units of processing per round — the
     saturation condition of the paper's argument.
     """
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=fast_exec_delay,
-        exec_delay_overrides={slow_pid: slow_exec_delay},
-        message_delay=0.1,
-    )
-    cluster = BayouCluster(Counter(), config, protocol=protocol)
-    slow_requests = []
+    slow_futures = []
     backlog_curve: List[int] = []
 
-    def one_round(round_index: int) -> None:
+    def one_round(run) -> None:
         for pid in range(n_replicas):
-            request = cluster.invoke(pid, Counter.increment(1))
+            future = run.submit(pid, Counter.increment(1))
             if pid == slow_pid:
-                slow_requests.append(request)
-        backlog_curve.append(cluster.replicas[slow_pid].backlog)
+                slow_futures.append(future)
+        backlog_curve.append(run.cluster.replicas[slow_pid].backlog)
 
+    scenario = (
+        Scenario(Counter(), name="slow-replica")
+        .replicas(n_replicas)
+        .protocol(protocol)
+        .exec_delay(fast_exec_delay, overrides={slow_pid: slow_exec_delay})
+        .message_delay(0.1)
+    )
     for round_index in range(rounds):
-        cluster.sim.schedule_at(
-            1.0 + round_index * delta_t, lambda i=round_index: one_round(i)
-        )
-    cluster.run_until_quiescent()
+        scenario.at(1.0 + round_index * delta_t, one_round)
+    live = scenario.build()
+    live.run_until_quiescent()
 
-    history = cluster.build_history(well_formed=False)
-    latencies = []
-    for request in slow_requests:
-        event = history.event(request.dot)
-        if event.return_time is not None:
-            latencies.append(event.return_time - event.invoke_time)
+    latencies = [
+        future.latency for future in slow_futures if future.latency is not None
+    ]
     return SlowReplicaResult(
         protocol=protocol,
         rounds=rounds,
@@ -138,38 +132,39 @@ def run_clock_slowdown(
     TOB is delayed past the measurement window, so the tentative list is
     where ordering happens (the regime the paper's argument addresses).
     """
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=0.01,
-        message_delay=0.1,
-        clock_rates={slow_pid: slow_rate},
-    )
-    filters = MessageFilter()
-    tob_delay_filter(filters, 10_000.0)
-    cluster = BayouCluster(Counter(), config, filters=filters)
-
     fast_pids = [pid for pid in range(n_replicas) if pid != slow_pid]
     rollbacks_per_round: List[int] = []
     previous_total = [0]
 
-    def one_round() -> None:
+    def one_round(run) -> None:
         for pid in range(n_replicas):
-            cluster.invoke(pid, Counter.increment(1))
-        total = sum(cluster.replicas[pid].rollback_count for pid in fast_pids)
+            run.submit(pid, Counter.increment(1))
+        total = sum(
+            run.cluster.replicas[pid].rollback_count for pid in fast_pids
+        )
         rollbacks_per_round.append(total - previous_total[0])
         previous_total[0] = total
 
+    scenario = (
+        Scenario(Counter(), name="clock-slowdown")
+        .replicas(n_replicas)
+        .exec_delay(0.01)
+        .message_delay(0.1)
+        .clock_drift(slow_pid, rate=slow_rate)
+        .tob_extra_delay(10_000.0)
+    )
     for round_index in range(rounds):
-        cluster.sim.schedule_at(1.0 + round_index * delta_t, one_round)
+        scenario.at(1.0 + round_index * delta_t, one_round)
+    live = scenario.build()
     # Stop before the delayed TOB messages arrive: an asynchronous-run
     # window, exactly like a long-lasting partition.
-    cluster.run(until=1.0 + rounds * delta_t + 50.0)
+    live.run(until=1.0 + rounds * delta_t + 50.0)
 
     return ClockSlowdownResult(
         slow_rate=slow_rate,
         rounds=rounds,
         rollbacks_fast_replicas=sum(
-            cluster.replicas[pid].rollback_count for pid in fast_pids
+            live.cluster.replicas[pid].rollback_count for pid in fast_pids
         ),
         rollbacks_per_round=rollbacks_per_round,
     )

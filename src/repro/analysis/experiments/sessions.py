@@ -22,12 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import MODIFIED, ORIGINAL
 from repro.datatypes.rlist import RList
-from repro.framework.builder import build_abstract_execution
 from repro.framework.predicates import CheckResult
-from repro.framework.session_guarantees import check_all_session_guarantees
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -46,40 +44,29 @@ class SessionGuaranteeResult:
 
 def run_session_guarantees(*, protocol: str = MODIFIED) -> SessionGuaranteeResult:
     """Write-then-read on a slow replica; check the session guarantees."""
-    config = BayouConfig(
-        n_replicas=2,
-        exec_delay=0.05,
-        exec_delay_overrides={0: 5.0},  # the client's replica is slow
-        message_delay=1.0,
+    scenario = (
+        Scenario(RList(), name="session-guarantees")
+        .replicas(2)
+        .protocol(protocol)
+        # The client's replica is slow.
+        .exec_delay(0.05, overrides={0: 5.0})
+        .message_delay(1.0)
+        .probes(RList.read)
+        .checks(session_guarantees=True)
     )
-    cluster = BayouCluster(RList(), config, protocol=protocol)
-
     # A closed-loop client: the read is issued as soon as the write's
     # response arrives (plus a small think time). Under the original
     # protocol that is *after* the slow replica executed the write (~5s);
     # under the modified protocol it is immediate — and the read misses
     # the still-tentative write.
-    from repro.core.client import ClientSession
-
-    session = ClientSession(cluster, 0, think_time=1.0)
-    session.submit(RList.append("w"))
-    session.submit(RList.read())
-    cluster.run_until_quiescent()
-    cluster.add_horizon_probes(RList.read)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    execution = build_abstract_execution(history)
-    read_event = next(
-        event
-        for event in history.events
-        if event.session == 0 and event.op.name == "read"
-    )
+    scenario.client(0, think_time=1.0).append("w").read(label="ryw-read")
+    result = scenario.run()
+    read_event = result.event("ryw-read")
     return SessionGuaranteeResult(
         protocol=protocol,
         read_value=read_event.rval,
         read_latency=read_event.return_time - read_event.invoke_time,
-        guarantees=check_all_session_guarantees(execution),
+        guarantees=result.session_guarantees,
     )
 
 

@@ -28,19 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
-from repro.analysis.experiments.common import (
-    delay_tob_for_dot,
-    quarantine_dot_filter,
-    tob_delay_filter,
-)
-from repro.core.cluster import ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
+from repro.core.cluster import ORIGINAL
 from repro.datatypes.rlist import RList
-from repro.framework.builder import build_abstract_execution
-from repro.framework.guarantees import GuaranteeReport, check_bec, check_fec, check_seq
-from repro.framework.history import History, STRONG, WEAK
+from repro.framework.guarantees import GuaranteeReport
+from repro.framework.history import History
 from repro.framework.search import SearchOutcome, find_bec_seq_execution
-from repro.net.faults import MessageFilter
+from repro.scenario import Scenario
 
 
 @dataclass
@@ -57,6 +50,34 @@ class Theorem1LiveResult:
     core_history: History = field(repr=False, default=None)
 
 
+def theorem1_scenario(*, protocol: str = ORIGINAL) -> Scenario:
+    """The proof's adversarial schedule as a declarative scenario."""
+    return (
+        Scenario(RList(), name="theorem1")
+        .replicas(3)
+        .protocol(protocol)
+        .exec_delay(0.5)
+        .message_delay(1.0)
+        # The sequencer lives with k (replica 2), reachable by all.
+        .tob("sequencer", sequencer=2)
+        # TOB is slower than RB everywhere (as in the figures), so the read
+        # on k happens before anything commits and returns the tentative
+        # order "ab".
+        .tob_extra_delay(10.0)
+        # a's dot will be (0, 1): delay all knowledge of it into replica 1.
+        .quarantine_dot((0, 1), receiver=1, extra=300.0)
+        # Delay only a's TOB messages at the sequencer (replica 2) so the
+        # final order becomes b, r, c, a; a's RB still reaches k immediately.
+        .delay_tob_for_dot((0, 1), receiver=2, extra=25.0)
+        .invoke(1.0, 0, RList.append("a"), label="a")
+        .invoke(2.0, 1, RList.append("b"), label="b")
+        .invoke(3.6, 2, RList.read(), label="r")
+        .invoke(8.0, 1, RList.append("c"), strong=True, label="c")
+        .probes(RList.read)
+        .checks(bec="weak", fec="weak", seq="strong")
+    )
+
+
 def run_theorem1_live(*, protocol: str = ORIGINAL) -> Theorem1LiveResult:
     """Drive the proof's schedule on a real 3-replica Bayou cluster.
 
@@ -65,57 +86,17 @@ def run_theorem1_live(*, protocol: str = ORIGINAL) -> Theorem1LiveResult:
     Theorem 1 binds the modified protocol too, which is the whole point of
     FEC.
     """
-    config = BayouConfig(
-        n_replicas=3,
-        exec_delay=0.5,
-        message_delay=1.0,
-        sequencer_pid=2,  # the sequencer lives with k, reachable by all
-    )
-    filters = MessageFilter()
-    # TOB is slower than RB everywhere (as in the figures), so the read on k
-    # happens before anything commits and returns the tentative order "ab".
-    tob_delay_filter(filters, 10.0)
-    # a's dot will be (0, 1): delay all knowledge of it into replica 1.
-    quarantine_dot_filter(filters, (0, 1), receiver=1, extra=300.0)
-    # Delay only a's TOB messages at the sequencer (replica 2) so the final
-    # order becomes b, r, c, a; a's RB still reaches k immediately.
-    delay_tob_for_dot(filters, (0, 1), receiver=2, extra=25.0)
-    cluster = BayouCluster(RList(), config, protocol=protocol, filters=filters)
-
-    requests: Dict[str, Any] = {}
-
-    def invoke(name: str, pid: int, op, strong: bool = False) -> None:
-        requests[name] = cluster.invoke(pid, op, strong=strong)
-
-    cluster.sim.schedule_at(1.0, lambda: invoke("a", 0, RList.append("a")))
-    cluster.sim.schedule_at(2.0, lambda: invoke("b", 1, RList.append("b")))
-    cluster.sim.schedule_at(3.6, lambda: invoke("r", 2, RList.read()))
-    cluster.sim.schedule_at(8.0, lambda: invoke("c", 1, RList.append("c"), True))
-    cluster.run_until_quiescent()
-
-    cluster.add_horizon_probes(RList.read)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    responses = {
-        name: history.event(req.dot).rval for name, req in requests.items()
-    }
-    execution = build_abstract_execution(history)
-
+    result = theorem1_scenario(protocol=protocol).run()
     # The four proof events, extracted for the exhaustive search.
-    core_eids = {requests[name].dot for name in ("a", "b", "r", "c")}
-    core_history = History(
-        [event for event in history.events if event.eid in core_eids],
-        history.datatype,
-    )
+    core_history = result.sub_history(["a", "b", "r", "c"])
     return Theorem1LiveResult(
-        responses=responses,
-        converged=cluster.converged(),
-        bec_weak=check_bec(execution, WEAK),
-        fec_weak=check_fec(execution, WEAK),
-        seq_strong=check_seq(execution, STRONG),
+        responses=result.responses,
+        converged=result.converged,
+        bec_weak=result.check("bec:weak"),
+        fec_weak=result.check("fec:weak"),
+        seq_strong=result.check("seq:strong"),
         search=find_bec_seq_execution(core_history),
-        history=history,
+        history=result.history,
         core_history=core_history,
     )
 

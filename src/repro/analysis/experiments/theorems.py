@@ -15,21 +15,18 @@ the minority partition are *pending* (∇). After the partition heals
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Dict
 
-from repro.analysis.workload import PROFILES, RandomWorkload
-from repro.core.cluster import MODIFIED, ORIGINAL, BayouCluster
-from repro.core.config import BayouConfig
-from repro.datatypes.base import Operation
+from repro.core.cluster import MODIFIED
 from repro.datatypes.bank import BankAccounts
 from repro.datatypes.counter import Counter
 from repro.datatypes.kvstore import KVStore
 from repro.datatypes.orset import SetType
 from repro.datatypes.rlist import RList
 from repro.framework.builder import build_abstract_execution
-from repro.framework.guarantees import GuaranteeReport, check_bec, check_fec, check_seq
-from repro.framework.history import History, PENDING, STRONG, WEAK
-from repro.net.partition import PartitionSchedule
+from repro.framework.guarantees import GuaranteeReport, check_fec, check_seq
+from repro.framework.history import History, STRONG, WEAK
+from repro.scenario import Scenario
 
 #: The data type instance and read-only probe op per profile name.
 DATATYPES: Dict[str, tuple] = {
@@ -72,37 +69,32 @@ def run_theorem2(
 ) -> TheoremCheckResult:
     """A stable run: random workload, no partitions, full checking."""
     datatype_cls, probe = DATATYPES[profile_name]
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=exec_delay,
-        message_delay=message_delay,
-        latency_jitter=latency_jitter,
-        seed=seed,
+    scenario = (
+        Scenario(datatype_cls(), name=f"theorem2:{profile_name}")
+        .replicas(n_replicas)
+        .protocol(protocol)
+        .exec_delay(exec_delay)
+        .message_delay(message_delay, jitter=latency_jitter)
+        .seed(seed)
+        .workload(profile_name, ops_per_session=ops_per_session, seed=seed)
+        .probes(probe)
+        .checks(fec="weak", seq="strong", bec="weak")
     )
-    cluster = BayouCluster(datatype_cls(), config, protocol=protocol)
-    workload = RandomWorkload(
-        cluster,
-        PROFILES[profile_name](),
-        ops_per_session=ops_per_session,
-        seed=seed,
-    )
-    workload.start()
-    cluster.run_until_quiescent()
-    assert workload.all_done, "closed-loop sessions did not finish"
-    cluster.add_horizon_probes(probe)
-    cluster.run_until_quiescent()
-
-    history = cluster.build_history()
-    execution = build_abstract_execution(history)
+    live = scenario.build()
+    live.run_until_quiescent()
+    assert all(
+        workload.all_done for workload in live.workloads
+    ), "closed-loop sessions did not finish"
+    result = live.finish()
     return TheoremCheckResult(
         profile=profile_name,
         protocol=protocol,
-        n_events=len(history),
-        fec_weak=check_fec(execution, WEAK),
-        seq_strong=check_seq(execution, STRONG),
-        bec_weak=check_bec(execution, WEAK),
-        converged=cluster.converged(),
-        history=history,
+        n_events=len(result.history),
+        fec_weak=result.check("fec:weak"),
+        seq_strong=result.check("seq:strong"),
+        bec_weak=result.check("bec:weak"),
+        converged=result.converged,
+        history=result.history,
     )
 
 
@@ -131,30 +123,30 @@ def run_theorem3(
     strong operation stays pending, so ``Seq(strong)`` fails; after healing
     everything commits and the full conjunction holds.
     """
-    partitions = PartitionSchedule(n_replicas)
-    partitions.split(5.0, [[0, 1], [2]])
-    partitions.heal(partition_heals_at)
-    config = BayouConfig(
-        n_replicas=n_replicas,
-        exec_delay=0.05,
-        message_delay=1.0,
-        sequencer_pid=0,
+    scenario = (
+        Scenario(Counter(), name="theorem3")
+        .replicas(n_replicas)
+        .protocol(MODIFIED)
+        .exec_delay(0.05)
+        .message_delay(1.0)
+        .tob("sequencer", sequencer=0)
+        .partition(5.0, [[0, 1], [2]])
+        .heal(partition_heals_at)
+        # Scripted workload: weak ops everywhere, one strong op in the
+        # minority partition.
+        .invoke(1.0, 0, Counter.increment(1))
+        .invoke(2.0, 1, Counter.increment(2))
+        .invoke(10.0, 2, Counter.increment(4))  # during partition
+        .invoke(12.0, 0, Counter.increment(8))
+        .invoke(20.0, 2, Counter.read(), strong=True, label="blocked")
+        .invoke(30.0, 2, Counter.increment(16))
+        .probes(Counter.read)
     )
-    cluster = BayouCluster(
-        Counter(), config, protocol=MODIFIED, partitions=partitions
-    )
-
-    # Scripted workload: weak ops everywhere, one strong op in the minority.
-    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
-    cluster.schedule_invoke(2.0, 1, Counter.increment(2))
-    cluster.schedule_invoke(10.0, 2, Counter.increment(4))  # during partition
-    cluster.schedule_invoke(12.0, 0, Counter.increment(8))
-    cluster.schedule_invoke(20.0, 2, Counter.read(), strong=True)  # blocks
-    cluster.schedule_invoke(30.0, 2, Counter.increment(16))
+    live = scenario.build()
 
     # Run to the middle of the partition window and snapshot the history.
-    cluster.run(until=partition_heals_at - 10.0)
-    history_during = cluster.build_history(well_formed=False)
+    live.run(until=partition_heals_at - 10.0)
+    history_during = live.history(well_formed=False)
     execution_during = build_abstract_execution(history_during)
     pending_strong = sum(
         1
@@ -168,10 +160,9 @@ def run_theorem3(
     )
 
     # Heal and converge; verify the temporary-partition model's promise.
-    cluster.run_until_quiescent()
-    cluster.add_horizon_probes(Counter.read)
-    cluster.run_until_quiescent()
-    history_after = cluster.build_history(well_formed=False)
+    live.run_until_quiescent()
+    live.add_probes()
+    history_after = live.history(well_formed=False)
     execution_after = build_abstract_execution(history_after)
 
     return Theorem3Result(
@@ -181,7 +172,7 @@ def run_theorem3(
         seq_strong_during=check_seq(execution_during, STRONG),
         fec_weak_after=check_fec(execution_after, WEAK),
         seq_strong_after=check_seq(execution_after, STRONG),
-        converged_after=cluster.converged(),
+        converged_after=live.converged(),
     )
 
 

@@ -2,9 +2,10 @@
 
 A :class:`WorkloadProfile` is a weighted set of operation factories plus a
 probability of issuing an operation as strong. :class:`RandomWorkload`
-drives closed-loop :class:`~repro.core.client.ClientSession` clients (one
-per replica) so the resulting history is well-formed, which the checking
-experiments (Theorems 2/3) require.
+drives closed-loop :class:`~repro.core.session.Session` clients (one per
+replica) so the resulting history is well-formed, which the checking
+experiments (Theorems 2/3) require. ``Scenario.workload(...)`` is the
+fluent entry point.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.core.client import ClientSession
+from repro.core.session import Session
 from repro.datatypes.base import Operation
 from repro.datatypes.bank import BankAccounts
 from repro.datatypes.counter import Counter
@@ -150,14 +151,12 @@ class RandomWorkload:
         self.ops_per_session = ops_per_session
         self.think_time = think_time
         self.rngs = SeededRngRegistry(seed)
-        self.sessions: List[ClientSession] = []
+        self.sessions: List[Session] = []
 
     def start(self) -> None:
         """Create one session per replica and queue its operations."""
         for pid in range(self.cluster.config.n_replicas):
-            session = ClientSession(
-                self.cluster, pid, think_time=self.think_time
-            )
+            session = self.cluster.connect(pid, think_time=self.think_time)
             rng = self.rngs.stream(f"session.{pid}")
             for _ in range(self.ops_per_session):
                 op, strong = self.profile.sample(rng)

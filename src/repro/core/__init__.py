@@ -12,6 +12,9 @@
   weak operations bounded wait-free.
 - :class:`~repro.core.cluster.BayouCluster`: the end-to-end harness gluing
   simulator, network, broadcast stack, replicas and history recording.
+- :class:`~repro.core.session.Session` and
+  :class:`~repro.core.session.OpFuture`: the futures-based client pipeline
+  (``ClientSession`` is its backwards-compatible alias).
 """
 
 from repro.core.client import ClientSession
@@ -20,6 +23,7 @@ from repro.core.config import BayouConfig
 from repro.core.modified_replica import ModifiedBayouReplica
 from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
+from repro.core.session import OpFuture, Session
 from repro.core.state_object import StateObject
 
 __all__ = [
@@ -29,6 +33,8 @@ __all__ = [
     "ClientSession",
     "Dot",
     "ModifiedBayouReplica",
+    "OpFuture",
     "Req",
+    "Session",
     "StateObject",
 ]

@@ -1,124 +1,16 @@
-"""Closed-loop client sessions.
+"""Backwards-compatible home of the closed-loop client.
 
-The paper's histories are *well-formed*: within a session a new operation is
-invoked only after the previous one returned. :class:`ClientSession` drives
-a replica that way — it queues submitted operations and issues the next one
-when the previous response arrives (plus an optional think time). Open-loop
-workloads (Section 2.3's saturation experiment) bypass sessions and call
-``cluster.invoke`` directly.
+The client-side API now lives in :mod:`repro.core.session`:
+:class:`~repro.core.session.Session` (closed-loop, futures-based) and
+:class:`~repro.core.session.OpFuture`. ``ClientSession`` is an alias of
+``Session`` kept so pre-futures code and imports continue to work.
 """
 
-from __future__ import annotations
+from repro.core.session import (  # noqa: F401
+    ClientSession,
+    OpFuture,
+    ResponseCallback,
+    Session,
+)
 
-from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
-
-from repro.core.request import Req
-from repro.datatypes.base import Operation
-
-#: callback(op, strong, response, latency)
-ResponseCallback = Callable[[Operation, bool, Any, float], None]
-
-
-class ClientSession:
-    """A sequential client bound to one replica of a cluster."""
-
-    def __init__(
-        self,
-        cluster: "BayouCluster",  # noqa: F821 - circular typing only
-        pid: int,
-        *,
-        think_time: float = 0.0,
-        on_response: Optional[ResponseCallback] = None,
-    ) -> None:
-        self.cluster = cluster
-        self.pid = pid
-        self.think_time = think_time
-        self.on_response = on_response
-        self._queue: Deque[Tuple[Operation, bool]] = deque()
-        self._outstanding: Optional[Req] = None
-        self._invoked_at = 0.0
-        #: Response that arrived synchronously, mid-invoke (the modified
-        #: protocol answers weak operations inside invoke()).
-        self._early_response: Optional[Tuple[Req, Any]] = None
-        self._in_invoke = False
-        self._pump_scheduled = False
-        #: Earliest time the next invocation may run (think-time pacing).
-        self._ready_at = 0.0
-        self.completed = 0
-        self.latencies: list = []
-
-    def submit(self, op: Operation, strong: bool = False) -> None:
-        """Queue an operation; it runs when all earlier ones have returned."""
-        self._queue.append((op, strong))
-        self._maybe_schedule_pump()
-
-    @property
-    def idle(self) -> bool:
-        """True when nothing is queued or outstanding."""
-        return self._outstanding is None and not self._queue
-
-    def _maybe_schedule_pump(self) -> None:
-        """Arrange the next invocation as a simulation event.
-
-        Invocations always run on their own simulation step (never inline in
-        submit/response handling) and never before ``think_time`` has passed
-        since the previous response.
-        """
-        if (
-            self._outstanding is not None
-            or self._in_invoke
-            or self._pump_scheduled
-            or not self._queue
-        ):
-            return
-        delay = max(0.0, self._ready_at - self.cluster.sim.now)
-        self._pump_scheduled = True
-        self.cluster.sim.schedule(
-            delay, self._pump, label=f"client {self.pid} next"
-        )
-
-    def _pump(self) -> None:
-        self._pump_scheduled = False
-        if self._outstanding is not None or not self._queue:
-            return
-        op, strong = self._queue.popleft()
-        self._invoked_at = self.cluster.sim.now
-        self._early_response = None
-        self._in_invoke = True
-        try:
-            request = self.cluster.invoke(
-                self.pid, op, strong=strong, _session=self
-            )
-        finally:
-            self._in_invoke = False
-        if (
-            self._early_response is not None
-            and self._early_response[0].dot == request.dot
-        ):
-            early_req, early_value = self._early_response
-            self._early_response = None
-            self._complete(early_req, early_value)
-        else:
-            self._outstanding = request
-
-    def _handle_response(self, req: Req, response: Any) -> None:
-        """Called by the cluster when our outstanding request returns."""
-        if self._in_invoke:
-            # Synchronous response from inside invoke(); complete after the
-            # invoke returns and we know the request identity.
-            self._early_response = (req, response)
-            return
-        if self._outstanding is None or req.dot != self._outstanding.dot:
-            return  # e.g. a stale stable notification; sessions track one op
-        self._outstanding = None
-        self._complete(req, response)
-
-    def _complete(self, req: Req, response: Any) -> None:
-        latency = self.cluster.sim.now - self._invoked_at
-        self.latencies.append(latency)
-        self.completed += 1
-        self._ready_at = self.cluster.sim.now + self.think_time
-        if self.on_response is not None:
-            self.on_response(req.op, req.strong, response, latency)
-        self._maybe_schedule_pump()
+__all__ = ["ClientSession", "OpFuture", "ResponseCallback", "Session"]

@@ -30,7 +30,9 @@ from repro.core.config import BayouConfig
 from repro.core.modified_replica import ModifiedBayouReplica
 from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
+from repro.core.session import OpFuture, ResponseCallback, Session
 from repro.datatypes.base import DataType, Operation
+from repro.errors import DivergedOrderError
 from repro.framework.history import PENDING, STRONG, WEAK, History, HistoryEvent
 from repro.net.faults import MessageFilter
 from repro.net.network import FixedLatency, Network, UniformLatency
@@ -112,7 +114,7 @@ class BayouCluster:
         self.replicas: List[BayouReplica] = []
         self.omegas: List[OmegaFailureDetector] = []
         self._staged: Dict[Dot, _StagedEvent] = {}
-        self._sessions: Dict[Dot, Any] = {}
+        self._futures: Dict[Dot, OpFuture] = {}
         self._invocation_seq = 0
         self._build()
 
@@ -173,6 +175,7 @@ class BayouCluster:
                     trace=self.trace,
                 )
                 self.sim.schedule(0.0, omega.start, label=f"omega start {pid}")
+            replica.commit_listener = self._on_commit
             self.nodes.append(node)
             self.clocks.append(clock)
             self.replicas.append(replica)
@@ -188,24 +191,37 @@ class BayouCluster:
                 staged.return_time = self.sim.now
                 staged.perceived = perceived
                 staged.stable = stable
-            session = self._sessions.pop(req.dot, None)
-            if session is not None:
-                session._handle_response(req, response)
+            future = self._futures.get(req.dot)
+            if future is not None:
+                future._resolve(req, response, self.sim.now, stable=stable)
 
         return responder
+
+    def _on_commit(self, req: Req) -> None:
+        """First TOB delivery of a request fixes its final position."""
+        future = self._futures.get(req.dot)
+        if future is not None:
+            future._mark_stable(self.sim.now)
 
     # ------------------------------------------------------------------
     # Invocation API
     # ------------------------------------------------------------------
-    def invoke(
+    def submit(
         self,
         pid: int,
         op: Operation,
         *,
         strong: bool = False,
-        _session: Any = None,
-    ) -> Req:
-        """Invoke ``op`` on replica ``pid`` right now; returns the request."""
+        future: Optional[OpFuture] = None,
+    ) -> OpFuture:
+        """Invoke ``op`` on replica ``pid`` right now; returns its future.
+
+        The single response pipeline behind every client style: sessions
+        pass their own pre-created future, open-loop callers get a fresh
+        one. The future may already be resolved when this returns — the
+        modified protocol answers weak operations synchronously inside
+        ``invoke()``.
+        """
         replica = self.replicas[pid]
         invoke_time = self.sim.now
         # Stage the history record *before* invoking: the modified protocol
@@ -224,13 +240,40 @@ class BayouCluster:
             seq=self._invocation_seq,
         )
         self._staged[placeholder_dot] = staged
-        if _session is not None:
-            self._sessions[placeholder_dot] = _session
+        if future is None:
+            future = OpFuture(op, strong=strong, pid=pid)
+        future._mark_invoked(placeholder_dot, invoke_time)
+        self._futures[placeholder_dot] = future
         req = replica.invoke(op, strong=strong)
         assert req.dot == placeholder_dot, "event numbering out of sync"
+        if future.request is None:
+            future.request = req
         staged.timestamp = req.timestamp
         staged.tob_cast = self._was_tob_cast(req)
-        return req
+        if not staged.tob_cast and future.done:
+            # Never-broadcast operations (the modified protocol's invisible
+            # reads) hold no position in the final order; their synchronous
+            # response is as final as it will ever be.
+            future._mark_stable(self.sim.now)
+        return future
+
+    def invoke(self, pid: int, op: Operation, *, strong: bool = False) -> Req:
+        """Invoke ``op`` on replica ``pid`` right now; returns the request."""
+        request = self.submit(pid, op, strong=strong).request
+        assert request is not None
+        return request
+
+    def connect(
+        self,
+        pid: int,
+        *,
+        think_time: float = 0.0,
+        on_response: Optional[ResponseCallback] = None,
+    ) -> Session:
+        """Open a closed-loop :class:`Session` against replica ``pid``."""
+        return Session(
+            self, pid, think_time=think_time, on_response=on_response
+        )
 
     def _was_tob_cast(self, req: Req) -> bool:
         """Whether the request was disseminated through TOB at all."""
@@ -364,7 +407,12 @@ class BayouCluster:
         )
 
     def _consistent_tob_order(self) -> List[Dot]:
-        """The TOB delivery order; asserts replicas saw consistent prefixes."""
+        """The TOB delivery order; checks replicas saw consistent prefixes.
+
+        Raises :class:`DivergedOrderError` (with a readable diff of the two
+        sequences) if any replica's delivered sequence is not a prefix of
+        the longest one — a violation of TOB's total-order property.
+        """
         sequences = [
             replica.tob.delivered_sequence
             for replica in self.replicas
@@ -373,10 +421,7 @@ class BayouCluster:
         longest: List[Dot] = max(sequences, key=len, default=[])
         for sequence in sequences:
             if sequence != longest[: len(sequence)]:
-                raise AssertionError(
-                    "TOB delivered inconsistent orders: "
-                    f"{sequence} vs {longest}"
-                )
+                raise DivergedOrderError.from_sequences(sequence, longest)
         return longest
 
     # ------------------------------------------------------------------

@@ -75,3 +75,23 @@ class BayouConfig:
             raise ValueError("sequencer_pid out of range")
         if self.exec_delay < 0 or self.message_delay < 0 or self.latency_jitter < 0:
             raise ValueError("delays must be non-negative")
+        for pid, delay in self.exec_delay_overrides.items():
+            if delay < 0:
+                raise ValueError(
+                    f"exec_delay_overrides[{pid!r}] must be non-negative, "
+                    f"got {delay!r}"
+                )
+        for name in (
+            "ae_sync_interval",
+            "heartbeat_interval",
+            "failure_timeout",
+            "paxos_retry_interval",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if self.retransmit_interval is not None and self.retransmit_interval <= 0:
+            raise ValueError(
+                "retransmit_interval must be positive when set, "
+                f"got {self.retransmit_interval!r}"
+            )

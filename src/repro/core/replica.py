@@ -63,6 +63,10 @@ class BayouReplica:
         self.trace = trace
         self.responder = responder
 
+        #: Optional hook called on every TOB commit (the cluster uses it to
+        #: stabilise the request's OpFuture).
+        self.commit_listener: Optional[Callable[[Req], None]] = None
+
         self.state = StateObject(datatype)
         self.curr_event_no = 0
         self.committed: List[Req] = []
@@ -158,6 +162,8 @@ class BayouReplica:
             assert stored is not _NO_RESPONSE, "executed request lacks a response"
             response, perceived = stored
             self._respond(req, response, perceived, stable=True)
+        if self.commit_listener is not None:
+            self.commit_listener(req)
 
     # ------------------------------------------------------------------
     # Execution scheduling (lines 35-40)

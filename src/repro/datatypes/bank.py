@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 
 def _reg(account: str) -> str:
@@ -25,30 +31,25 @@ def _reg(account: str) -> str:
 class BankAccounts(DataType):
     """A replicated map of account balances with guarded updates."""
 
-    READONLY = frozenset({"balance"})
-
-    @staticmethod
+    @operation
     def deposit(account: str, amount: int) -> Operation:
         """Add ``amount``; returns the new balance."""
         return Operation("deposit", (account, amount))
 
-    @staticmethod
+    @operation
     def withdraw(account: str, amount: int) -> Operation:
         """Remove ``amount`` if covered; returns the new balance or None."""
         return Operation("withdraw", (account, amount))
 
-    @staticmethod
+    @operation(readonly=True)
     def balance(account: str) -> Operation:
         """Return the balance (0 for a never-touched account)."""
         return Operation("balance", (account,))
 
-    @staticmethod
+    @operation
     def transfer(source: str, target: str, amount: int) -> Operation:
         """Atomically move ``amount``; returns True on success."""
         return Operation("transfer", (source, target, amount))
-
-    def operations(self) -> frozenset:
-        return frozenset({"deposit", "withdraw", "balance", "transfer"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         if op.name == "deposit":

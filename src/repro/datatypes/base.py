@@ -18,8 +18,20 @@ The *same* ``execute`` implementation serves three purposes:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Iterable, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import UnknownOperationError  # noqa: F401  (historical home)
 
 
 @dataclass(frozen=True)
@@ -63,20 +75,171 @@ class PlainDb(DbView):
         self.data[register_id] = value
 
 
-class UnknownOperationError(ValueError):
-    """Raised when a data type is asked to execute an operation it lacks."""
+@dataclass(frozen=True)
+class OperationSpec:
+    """Metadata of one declared operation of a :class:`DataType`.
+
+    ``min_arity``/``max_arity`` bound the number of positional arguments the
+    constructor accepts (``max_arity`` is None for variadic constructors).
+    """
+
+    name: str
+    readonly: bool
+    min_arity: int
+    max_arity: Optional[int]
+    doc: str = ""
+
+
+#: Attribute names of the typed-proxy hosts (Session, ScenarioClient, and
+#: the DataType machinery itself). An operation with one of these names
+#: could never be reached through ``session.<name>(...)`` — it would
+#: resolve to the host attribute instead — so declaration fails fast.
+RESERVED_OPERATION_NAMES = frozenset(
+    {
+        # Session / ScenarioClient public surface
+        "call",
+        "cluster",
+        "completed",
+        "futures",
+        "idle",
+        "latencies",
+        "on_response",
+        "op",
+        "ops",
+        "pid",
+        "scenario",
+        "strong",
+        "submit",
+        "think_time",
+        "weak",
+        # DataType machinery
+        "execute",
+        "is_readonly",
+        "op_spec",
+        "operation_specs",
+        "operations",
+        "replay",
+        "spec_return",
+        "type_name",
+    }
+)
+
+
+class operation:
+    """Descriptor declaring a typed operation constructor on a DataType.
+
+    Used either bare or with a ``readonly`` flag::
+
+        class Counter(DataType):
+            @operation
+            def increment(amount: int = 1) -> Operation: ...
+
+            @operation(readonly=True)
+            def read() -> Operation: ...
+
+    The wrapped function builds the wire-level :class:`Operation`; the
+    descriptor registers an :class:`OperationSpec` on the owning class, so
+    :meth:`DataType.operations` and :meth:`DataType.is_readonly` derive from
+    the declarations instead of hand-maintained name sets. Accessing the
+    attribute (``Counter.increment`` or ``counter.increment``) returns the
+    plain constructor, so the historical ``DataType.op(...)`` call style
+    keeps working unchanged — and session proxies resolve the same registry
+    to offer ``session.increment(1)`` directly.
+    """
+
+    def __init__(
+        self,
+        func: Optional[Callable[..., "Operation"]] = None,
+        *,
+        readonly: bool = False,
+    ) -> None:
+        self.readonly = readonly
+        self.func: Optional[Callable[..., "Operation"]] = None
+        self.spec: Optional[OperationSpec] = None
+        if func is not None:
+            self._bind(func)
+
+    def __call__(self, func: Callable[..., "Operation"]) -> "operation":
+        """Support the ``@operation(readonly=True)`` decorator form."""
+        self._bind(func)
+        return self
+
+    def _bind(self, func: Callable[..., "Operation"]) -> None:
+        if isinstance(func, staticmethod):  # tolerate doubled decoration
+            func = func.__func__
+        self.func = func
+        self.__doc__ = func.__doc__
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        assert self.func is not None, f"@operation {name} wraps no constructor"
+        if name in RESERVED_OPERATION_NAMES or name.startswith("_"):
+            raise ValueError(
+                f"{owner.__name__}.{name}: operation name {name!r} is "
+                "reserved (it would be shadowed by the session/client "
+                "proxy surface)"
+            )
+        min_arity, max_arity = _constructor_arity(self.func)
+        self.spec = OperationSpec(
+            name=name,
+            readonly=self.readonly,
+            min_arity=min_arity,
+            max_arity=max_arity,
+            doc=inspect.getdoc(self.func) or "",
+        )
+        if "_declared_specs" not in owner.__dict__:
+            owner._declared_specs = {}
+        owner.__dict__["_declared_specs"][name] = self.spec
+
+    def __get__(self, instance: Any, owner: Optional[type] = None):
+        return self.func
+
+
+def _constructor_arity(func: Callable[..., Any]) -> Tuple[int, Optional[int]]:
+    """The (min, max) positional-argument counts of an op constructor."""
+    min_arity = 0
+    max_arity: Optional[int] = 0
+    for parameter in inspect.signature(func).parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            max_arity = None
+        elif parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if max_arity is not None:
+                max_arity += 1
+            if parameter.default is inspect.Parameter.empty:
+                min_arity += 1
+    return min_arity, max_arity
 
 
 class DataType:
     """Base class for replicated data types (``F`` in the paper).
 
-    Subclasses define ``READONLY`` (names of read-only operations, per the
-    Section 3.4 requirement that read-only operations do not influence other
-    operations' return values) and implement :meth:`execute`.
+    Subclasses declare their operations with the :class:`operation`
+    descriptor and implement :meth:`execute`. The descriptor registry drives
+    :meth:`operations` and :meth:`is_readonly` (the Section 3.4 requirement
+    that read-only operations do not influence other operations' return
+    values); ``READONLY`` is derived from the same registry for subclasses
+    that do not set it explicitly, so legacy code reading it keeps working.
     """
 
-    #: Names of the read-only operations of this type.
+    #: Names of the read-only operations of this type (derived from the
+    #: ``@operation(readonly=True)`` declarations unless set explicitly).
     READONLY: frozenset = frozenset()
+
+    #: name -> OperationSpec, merged across the MRO (set by __init_subclass__).
+    _op_registry: Dict[str, OperationSpec] = {}
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        merged: Dict[str, OperationSpec] = {}
+        for klass in reversed(cls.__mro__):
+            merged.update(klass.__dict__.get("_declared_specs", {}))
+        cls._op_registry = merged
+        if merged and "READONLY" not in cls.__dict__:
+            cls.READONLY = frozenset(
+                spec.name for spec in merged.values() if spec.readonly
+            )
 
     #: Human-readable type name (defaults to the class name).
     @property
@@ -89,11 +252,31 @@ class DataType:
 
     def is_readonly(self, op: Operation) -> bool:
         """True if ``op`` is a read-only operation of this type."""
+        spec = self._op_registry.get(op.name)
+        if spec is not None:
+            return spec.readonly
         return op.name in self.READONLY
 
     def operations(self) -> frozenset:
-        """The full set of operation names (override for validation)."""
+        """The full set of operation names (from the descriptor registry)."""
+        if self._op_registry:
+            return frozenset(self._op_registry)
         return self.READONLY
+
+    @classmethod
+    def operation_specs(cls) -> Dict[str, OperationSpec]:
+        """The declared :class:`OperationSpec` registry of this type."""
+        return dict(cls._op_registry)
+
+    @classmethod
+    def op_spec(cls, name: str) -> OperationSpec:
+        """The spec of one operation; raises UnknownOperationError."""
+        try:
+            return cls._op_registry[name]
+        except KeyError:
+            raise UnknownOperationError(
+                f"{cls.__name__} has no operation {name!r}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Sequential specification

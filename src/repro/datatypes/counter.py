@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 _VALUE = "counter:value"
 
@@ -18,24 +24,22 @@ _VALUE = "counter:value"
 class Counter(DataType):
     """A replicated integer counter."""
 
-    READONLY = frozenset({"read"})
-
-    @staticmethod
+    @operation(readonly=True)
     def read() -> Operation:
         """Return the current count."""
         return Operation("read")
 
-    @staticmethod
+    @operation
     def increment(amount: int = 1) -> Operation:
         """Add ``amount``; returns the new count."""
         return Operation("increment", (amount,))
 
-    @staticmethod
+    @operation
     def decrement(amount: int = 1) -> Operation:
         """Subtract ``amount``; returns the new count."""
         return Operation("decrement", (amount,))
 
-    @staticmethod
+    @operation
     def add_if_even(amount: int = 1) -> Operation:
         """Add ``amount`` only if the current count is even; returns the count.
 
@@ -43,9 +47,6 @@ class Counter(DataType):
         it does not commute with increments in either state or return value.
         """
         return Operation("add_if_even", (amount,))
-
-    def operations(self) -> frozenset:
-        return frozenset({"read", "increment", "decrement", "add_if_even"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         current = view.read(_VALUE) or 0

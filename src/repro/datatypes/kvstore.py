@@ -15,7 +15,13 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 
 def _reg(key: Hashable) -> str:
@@ -29,35 +35,30 @@ _ABSENT = None
 class KVStore(DataType):
     """A replicated map with conditional updates."""
 
-    READONLY = frozenset({"get", "contains"})
-
-    @staticmethod
+    @operation
     def put(key: Hashable, value: Any) -> Operation:
         """Bind ``key`` to ``value``; returns the previous value (or None)."""
         return Operation("put", (key, value))
 
-    @staticmethod
+    @operation(readonly=True)
     def get(key: Hashable) -> Operation:
         """Return the value bound to ``key`` (or None)."""
         return Operation("get", (key,))
 
-    @staticmethod
+    @operation(readonly=True)
     def contains(key: Hashable) -> Operation:
         """Return True if ``key`` is bound."""
         return Operation("contains", (key,))
 
-    @staticmethod
+    @operation
     def put_if_absent(key: Hashable, value: Any) -> Operation:
         """Bind ``key`` only if absent; returns True if this call bound it."""
         return Operation("put_if_absent", (key, value))
 
-    @staticmethod
+    @operation
     def remove(key: Hashable) -> Operation:
         """Unbind ``key``; returns the removed value (or None)."""
         return Operation("remove", (key,))
-
-    def operations(self) -> frozenset:
-        return frozenset({"put", "get", "contains", "put_if_absent", "remove"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         if op.name == "put":

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Any, Hashable
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 _MEMBERS = "set:members"
 
@@ -18,35 +24,30 @@ _MEMBERS = "set:members"
 class SetType(DataType):
     """A replicated set of hashable elements."""
 
-    READONLY = frozenset({"contains", "elements", "size"})
-
-    @staticmethod
+    @operation
     def add(element: Hashable) -> Operation:
         """Insert ``element``; returns True if it was not already present."""
         return Operation("add", (element,))
 
-    @staticmethod
+    @operation
     def remove(element: Hashable) -> Operation:
         """Remove ``element``; returns True if it was present."""
         return Operation("remove", (element,))
 
-    @staticmethod
+    @operation(readonly=True)
     def contains(element: Hashable) -> Operation:
         """Return membership of ``element``."""
         return Operation("contains", (element,))
 
-    @staticmethod
+    @operation(readonly=True)
     def elements() -> Operation:
         """Return the sorted tuple of elements."""
         return Operation("elements")
 
-    @staticmethod
+    @operation(readonly=True)
     def size() -> Operation:
         """Return the cardinality."""
         return Operation("size")
-
-    def operations(self) -> frozenset:
-        return frozenset({"add", "remove", "contains", "elements", "size"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         members: frozenset = view.read(_MEMBERS) or frozenset()

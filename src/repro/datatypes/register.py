@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 _VALUE = "register:value"
 
@@ -18,25 +24,20 @@ _VALUE = "register:value"
 class Register(DataType):
     """A replicated register with ``read``, ``write`` and ``swap``."""
 
-    READONLY = frozenset({"read"})
-
-    @staticmethod
+    @operation(readonly=True)
     def read() -> Operation:
         """Return the current value."""
         return Operation("read")
 
-    @staticmethod
+    @operation
     def write(value: Any) -> Operation:
         """Blindly overwrite the register; returns None (a true blind write)."""
         return Operation("write", (value,))
 
-    @staticmethod
+    @operation
     def swap(value: Any) -> Operation:
         """Overwrite the register and return the *previous* value."""
         return Operation("swap", (value,))
-
-    def operations(self) -> frozenset:
-        return frozenset({"read", "write", "swap"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         if op.name == "read":

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 _ITEMS = "list:items"
 
@@ -22,42 +28,35 @@ def _render(items: Tuple[Any, ...]) -> str:
 class RList(DataType):
     """A replicated list of elements with paper-style string responses."""
 
-    READONLY = frozenset({"read", "get_first", "size"})
-
-    @staticmethod
+    @operation
     def append(element: Any) -> Operation:
         """Append ``element``; returns the modified list as a string."""
         return Operation("append", (element,))
 
-    @staticmethod
+    @operation
     def duplicate() -> Operation:
         """Append a copy of the list to itself; returns the modified list."""
         return Operation("duplicate")
 
-    @staticmethod
+    @operation(readonly=True)
     def read() -> Operation:
         """Return the list as a string."""
         return Operation("read")
 
-    @staticmethod
+    @operation(readonly=True)
     def get_first() -> Operation:
         """Return the first element, or None if empty."""
         return Operation("get_first")
 
-    @staticmethod
+    @operation(readonly=True)
     def size() -> Operation:
         """Return the number of elements."""
         return Operation("size")
 
-    @staticmethod
+    @operation
     def remove_last() -> Operation:
         """Remove and return the last element (None if empty)."""
         return Operation("remove_last")
-
-    def operations(self) -> frozenset:
-        return frozenset(
-            {"append", "duplicate", "read", "get_first", "size", "remove_last"}
-        )
 
     def execute(self, op: Operation, view: DbView) -> Any:
         items: Tuple[Any, ...] = view.read(_ITEMS) or ()

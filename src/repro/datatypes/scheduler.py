@@ -22,7 +22,13 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
-from repro.datatypes.base import DataType, DbView, Operation, UnknownOperationError
+from repro.datatypes.base import (
+    DataType,
+    DbView,
+    Operation,
+    UnknownOperationError,
+    operation,
+)
 
 
 def _slot_reg(slot: str) -> str:
@@ -32,9 +38,7 @@ def _slot_reg(slot: str) -> str:
 class MeetingScheduler(DataType):
     """Room reservations with per-operation dependency check + merge."""
 
-    READONLY = frozenset({"who", "schedule"})
-
-    @staticmethod
+    @operation
     def reserve(user: str, alternatives: Tuple[str, ...]) -> Operation:
         """Reserve the first free slot among ``alternatives``.
 
@@ -43,23 +47,20 @@ class MeetingScheduler(DataType):
         """
         return Operation("reserve", (user, tuple(alternatives)))
 
-    @staticmethod
+    @operation
     def cancel(user: str, slot: str) -> Operation:
         """Free ``slot`` if (and only if) ``user`` holds it; returns bool."""
         return Operation("cancel", (user, slot))
 
-    @staticmethod
+    @operation(readonly=True)
     def who(slot: str) -> Operation:
         """Return the holder of ``slot`` (or None)."""
         return Operation("who", (slot,))
 
-    @staticmethod
+    @operation(readonly=True)
     def schedule(*slots: str) -> Operation:
         """Return a tuple of (slot, holder) pairs for the given slots."""
         return Operation("schedule", (tuple(slots),))
-
-    def operations(self) -> frozenset:
-        return frozenset({"reserve", "cancel", "who", "schedule"})
 
     def execute(self, op: Operation, view: DbView) -> Any:
         if op.name == "reserve":

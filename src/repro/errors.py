@@ -1,0 +1,94 @@
+"""The library's exception hierarchy.
+
+Every error the public API raises derives from :class:`ReproError`, so
+callers can catch one base class at an experiment boundary. Errors that
+used to live next to their raise sites (``UnknownOperationError`` in
+:mod:`repro.datatypes.base`) are defined here and re-exported from their
+historical homes for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnknownOperationError(ReproError, ValueError):
+    """Raised when a data type is asked to execute an operation it lacks."""
+
+
+class SessionProtocolError(ReproError, RuntimeError):
+    """Raised when a session's well-formedness is violated.
+
+    The paper's histories are *well-formed* (Section 3.2): within a session
+    a new operation may be invoked only after the previous one returned.
+    :meth:`repro.core.session.Session.call` enforces this at the API level.
+    """
+
+
+class PendingResponseError(ReproError, RuntimeError):
+    """Raised when reading the value of an operation that has not returned.
+
+    The paper writes ∇ for the "return value" of a pending operation; use
+    :attr:`repro.core.session.OpFuture.rval` to observe that sentinel
+    instead of raising.
+    """
+
+
+class DivergedOrderError(ReproError, AssertionError):
+    """Raised when replicas disagree on the total-order-broadcast prefix.
+
+    TOB guarantees that all replicas deliver the same sequence; if two
+    replicas ever report incomparable delivered sequences, the run is not a
+    Bayou execution at all and every downstream check would be meaningless.
+    The message pinpoints the first index at which the sequences diverge.
+    """
+
+    def __init__(
+        self, message: str, *, index: int = -1, sequences: Sequence[Any] = ()
+    ) -> None:
+        super().__init__(message)
+        #: First position at which the two sequences disagree.
+        self.index = index
+        #: The two conflicting delivered sequences.
+        self.sequences = tuple(sequences)
+
+    @classmethod
+    def from_sequences(
+        cls, observed: Sequence[Any], reference: Sequence[Any]
+    ) -> "DivergedOrderError":
+        """Build the error with a readable diff of the two sequences."""
+        index = _first_divergence(observed, reference)
+        lines: List[str] = [
+            "TOB delivered inconsistent orders "
+            f"(first divergence at index {index}):",
+            "  " + _render_sequence(observed, index),
+            "  " + _render_sequence(reference, index),
+        ]
+        return cls("\n".join(lines), index=index, sequences=(observed, reference))
+
+
+def _first_divergence(a: Sequence[Any], b: Sequence[Any]) -> int:
+    """The first index where the sequences differ (one may be a prefix)."""
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return index
+    return min(len(a), len(b))
+
+
+def _render_sequence(sequence: Sequence[Any], index: int, context: int = 3) -> str:
+    """Render a sequence with the diverging element bracketed."""
+    start = max(0, index - context)
+    end = min(len(sequence), index + context + 1)
+    parts: List[str] = ["..."] if start > 0 else []
+    for position in range(start, end):
+        rendered = repr(sequence[position])
+        parts.append(f">>{rendered}<<" if position == index else rendered)
+    if index >= len(sequence):
+        parts.append(">>∅ (sequence ends)<<")
+    if end < len(sequence):
+        parts.append("...")
+    return " ".join(parts)

@@ -15,6 +15,76 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 
+#: A filter rule: (src, dst, payload, time) -> extra delay (None = no-op).
+FilterRule = Callable[[int, int, Any, float], Optional[float]]
+
+
+def mentions_dot(value: Any, dot: Any) -> bool:
+    """Recursively search a payload structure for a request dot."""
+    if value == dot:
+        return True
+    if isinstance(value, (tuple, list)):
+        return any(mentions_dot(item, dot) for item in value)
+    if hasattr(value, "dot"):
+        return value.dot == dot
+    if isinstance(value, dict):  # pragma: no cover - payloads are tuples today
+        return any(mentions_dot(item, dot) for item in value.values())
+    return False
+
+
+def tob_delay_rule(extra: float, *, tag: str = "seqtob") -> FilterRule:
+    """A rule adding ``extra`` latency to every TOB-engine message.
+
+    The paper's Figure 1/2 schedules rely on the final order being
+    established well after the speculative executions; consensus being
+    slower than gossip is also the realistic regime.
+    """
+
+    def rule(_src: int, _dst: int, payload: Any, _time: float) -> Optional[float]:
+        if isinstance(payload, tuple) and payload and payload[0] == tag:
+            return extra
+        return None
+
+    return rule
+
+
+def delay_tob_for_dot_rule(
+    dot: Any, *, receiver: int, extra: float, tag: str = "seqtob"
+) -> FilterRule:
+    """A rule delaying only TOB-engine messages about ``dot`` into ``receiver``.
+
+    Used to steer the final order: e.g. hold a request's proposal back from
+    the sequencer so later requests commit first.
+    """
+
+    def rule(_src: int, dst: int, payload: Any, _time: float) -> Optional[float]:
+        if (
+            dst == receiver
+            and isinstance(payload, tuple)
+            and payload
+            and payload[0] == tag
+            and mentions_dot(payload, dot)
+        ):
+            return extra
+        return None
+
+    return rule
+
+
+def quarantine_dot_rule(dot: Any, *, receiver: int, extra: float) -> FilterRule:
+    """A rule delaying every message carrying ``dot`` into ``receiver``.
+
+    Models the Theorem-1 adversary: a replica must not learn about an event
+    (by any route — RB, relay, or TOB delivery) until late.
+    """
+
+    def rule(_src: int, dst: int, payload: Any, _time: float) -> Optional[float]:
+        if dst == receiver and mentions_dot(payload, dot):
+            return extra
+        return None
+
+    return rule
+
 
 @dataclass
 class CrashPlan:

@@ -1,0 +1,707 @@
+"""The fluent experiment facade: Scenario → LiveRun → RunResult.
+
+Every experiment in this repository has the same shape: configure a
+cluster (replicas, TOB engine, dissemination, clocks), inject faults
+(partitions, targeted message delays), drive a workload (scripted
+invocations, closed-loop sessions, or random profiles), run the simulation,
+then freeze a history and check it against the paper's correctness
+criteria. :class:`Scenario` captures that shape as a builder::
+
+    result = (
+        Scenario(RList())
+        .replicas(2)
+        .protocol("original")
+        .exec_delay(1.5)
+        .clock_drift(1, offset=-0.5)
+        .tob_extra_delay(10.0)
+        .invoke(1.0, 0, RList.append("a"), label="append_a")
+        .invoke(10.0, 0, RList.append("x"), label="append_x")
+        .invoke(10.2, 1, RList.duplicate(), strong=True, label="duplicate")
+        .probes(RList.read)
+        .checks(fec="weak", bec="weak", seq="strong")
+        .run()
+    )
+    result.responses["append_x"]        # 'aax' — the paper's Figure 1
+    result.check("bec:weak").ok         # False: temporary reordering
+
+``run()`` compiles the builder to a :class:`~repro.core.cluster.BayouCluster`
+(+ :class:`~repro.net.partition.PartitionSchedule`,
+:class:`~repro.net.faults.MessageFilter`, client
+:class:`~repro.core.session.Session` objects), runs to quiescence (or
+stability, for the Paxos engine), issues horizon probes, and returns a
+:class:`RunResult` bundling the history, the abstract execution, the
+requested guarantee reports, convergence diagnostics and every labelled
+:class:`~repro.core.session.OpFuture`.
+
+For schedules that need mid-run observation (partition snapshots,
+Theorem 3's asynchronous window), :meth:`Scenario.build` returns the
+:class:`LiveRun` handle so the caller controls time, then calls
+:meth:`LiveRun.finish` to get the same :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.workload import PROFILES, RandomWorkload, WorkloadProfile
+from repro.core.cluster import ORIGINAL, BayouCluster
+from repro.core.config import BayouConfig
+from repro.core.request import Dot
+from repro.core.session import OpFuture, Session, resolve_operation
+from repro.datatypes.base import DataType, Operation, PlainDb
+from repro.errors import PendingResponseError
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_bec, check_fec, check_seq
+from repro.framework.history import History, STRONG, WEAK
+from repro.framework.predicates import check_ncc
+from repro.framework.session_guarantees import check_all_session_guarantees
+from repro.net.faults import (
+    FilterRule,
+    MessageFilter,
+    delay_tob_for_dot_rule,
+    quarantine_dot_rule,
+    tob_delay_rule,
+)
+from repro.net.partition import PartitionSchedule
+
+
+@dataclass
+class _ScriptedOp:
+    """One scheduled open-loop invocation."""
+
+    at: float
+    pid: int
+    op: Operation
+    strong: bool
+    label: str
+
+
+@dataclass
+class _WorkloadSpec:
+    profile: WorkloadProfile
+    ops_per_session: int
+    think_time: float
+    seed: int
+
+
+class ScenarioClient:
+    """A closed-loop client script inside a :class:`Scenario`.
+
+    Queues operations for one session; chainable, with typed sugar::
+
+        alice = scenario.client(0, think_time=1.0)
+        alice.append("w").read(label="ryw-read")    # typed, via the registry
+        alice.weak(RList.append("w"))               # explicit op objects
+        alice.strong(RList.read(), label="confirm")
+    """
+
+    def __init__(self, scenario: "Scenario", pid: int, think_time: float) -> None:
+        self.scenario = scenario
+        self.pid = pid
+        self.think_time = think_time
+        self.ops: List[Tuple[Operation, bool, Optional[str]]] = []
+
+    def op(
+        self, op: Operation, *, strong: bool = False, label: Optional[str] = None
+    ) -> "ScenarioClient":
+        """Queue ``op``; it runs after all earlier ops of this client."""
+        self.ops.append((op, strong, label))
+        if label is not None:
+            self.scenario._claim_label(label)
+        return self
+
+    def weak(self, op: Operation, *, label: Optional[str] = None) -> "ScenarioClient":
+        """Queue a weak (highly available, tentative) operation."""
+        return self.op(op, strong=False, label=label)
+
+    def strong(self, op: Operation, *, label: Optional[str] = None) -> "ScenarioClient":
+        """Queue a strong (consensus-backed, final) operation."""
+        return self.op(op, strong=True, label=label)
+
+    def __getattr__(self, name: str):
+        datatype = self.scenario._datatype
+        if datatype is None or name.startswith("_"):
+            raise AttributeError(name)
+        constructor = resolve_operation(datatype, name)
+
+        def bound(
+            *args: Any, strong: bool = False, label: Optional[str] = None, **kwargs: Any
+        ) -> "ScenarioClient":
+            return self.op(constructor(*args, **kwargs), strong=strong, label=label)
+
+        bound.__name__ = name
+        return bound
+
+
+class Scenario:
+    """A fluent builder for one simulated Bayou experiment."""
+
+    def __init__(self, datatype: Optional[DataType] = None, *, name: str = "") -> None:
+        self.name = name
+        self._datatype = datatype
+        self._protocol = ORIGINAL
+        self._config_kwargs: Dict[str, Any] = {}
+        self._clock_offsets: Dict[int, float] = {}
+        self._clock_rates: Dict[int, float] = {}
+        self._exec_overrides: Dict[int, float] = {}
+        self._partition_events: List[Tuple[str, float, Any]] = []
+        self._filter_builders: List[Callable[[MessageFilter], None]] = []
+        self._scripted: List[_ScriptedOp] = []
+        self._clients: List[ScenarioClient] = []
+        self._workloads: List[_WorkloadSpec] = []
+        self._hooks: List[Tuple[float, Callable[["LiveRun"], None]]] = []
+        self._probe_op: Optional[Callable[[], Operation]] = None
+        self._probe_spacing: Optional[float] = None
+        self._checks: List[Tuple[str, Optional[str]]] = []
+        self._labels: set = set()
+
+    # ------------------------------------------------------------------
+    # Substrate
+    # ------------------------------------------------------------------
+    def datatype(self, datatype: DataType) -> "Scenario":
+        """Set the replicated data type the cluster serves."""
+        self._datatype = datatype
+        return self
+
+    def replicas(self, n: int) -> "Scenario":
+        """Set the number of replicas."""
+        self._config_kwargs["n_replicas"] = n
+        return self
+
+    def protocol(self, protocol: str) -> "Scenario":
+        """Choose ``"original"`` (Algorithm 1) or ``"modified"`` (Algorithm 2)."""
+        self._protocol = protocol
+        return self
+
+    def tob(self, engine: str, *, sequencer: Optional[int] = None) -> "Scenario":
+        """Choose the TOB engine (``"sequencer"`` or ``"paxos"``)."""
+        self._config_kwargs["tob_engine"] = engine
+        if sequencer is not None:
+            self._config_kwargs["sequencer_pid"] = sequencer
+        return self
+
+    def dissemination(
+        self, kind: str, *, sync_interval: Optional[float] = None
+    ) -> "Scenario":
+        """Choose weak-update dissemination (``"rb"`` or ``"anti_entropy"``)."""
+        self._config_kwargs["dissemination"] = kind
+        if sync_interval is not None:
+            self._config_kwargs["ae_sync_interval"] = sync_interval
+        return self
+
+    def exec_delay(
+        self, delay: float, *, overrides: Optional[Dict[int, float]] = None
+    ) -> "Scenario":
+        """Set the per-step processing cost (and per-replica overrides)."""
+        self._config_kwargs["exec_delay"] = delay
+        if overrides:
+            self._exec_overrides.update(overrides)
+        return self
+
+    def message_delay(
+        self, delay: float, *, jitter: Optional[float] = None
+    ) -> "Scenario":
+        """Set the one-way network latency (uniform jitter optional).
+
+        ``jitter`` is only written when passed, so it composes with jitter
+        configured elsewhere in the chain instead of resetting it.
+        """
+        self._config_kwargs["message_delay"] = delay
+        if jitter is not None:
+            self._config_kwargs["latency_jitter"] = jitter
+        return self
+
+    def clock_drift(
+        self, pid: int, *, offset: float = 0.0, rate: float = 1.0
+    ) -> "Scenario":
+        """Give replica ``pid`` a drifting local clock (Section 2.3).
+
+        Always records both values, so a later call can reset an earlier
+        drift back to the defaults (offset 0.0, rate 1.0).
+        """
+        self._clock_offsets[pid] = offset
+        self._clock_rates[pid] = rate
+        return self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Master seed for every random stream."""
+        self._config_kwargs["seed"] = seed
+        return self
+
+    def config(self, **overrides: Any) -> "Scenario":
+        """Escape hatch: raw :class:`BayouConfig` field overrides."""
+        self._config_kwargs.update(overrides)
+        return self
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def partition(self, at: float, groups: Sequence[Sequence[int]]) -> "Scenario":
+        """Split the network into ``groups`` at time ``at``."""
+        self._partition_events.append(("split", at, groups))
+        return self
+
+    def heal(self, at: float) -> "Scenario":
+        """Restore full connectivity at time ``at``."""
+        self._partition_events.append(("heal", at, None))
+        return self
+
+    def filter(self, rule: FilterRule) -> "Scenario":
+        """Install a raw message-filter rule (drop/delay by inspection)."""
+        self._filter_builders.append(lambda filters: filters.add(rule))
+        return self
+
+    def tob_extra_delay(self, extra: float, *, tag: str = "seqtob") -> "Scenario":
+        """Add ``extra`` latency to every TOB-engine message (slow consensus)."""
+        return self.filter(tob_delay_rule(extra, tag=tag))
+
+    def delay_tob_for_dot(
+        self, dot: Dot, *, receiver: int, extra: float, tag: str = "seqtob"
+    ) -> "Scenario":
+        """Delay only TOB-engine messages about ``dot`` into ``receiver``.
+
+        Used to steer the final order: e.g. hold a request's proposal back
+        from the sequencer so later requests commit first.
+        """
+        return self.filter(
+            delay_tob_for_dot_rule(dot, receiver=receiver, extra=extra, tag=tag)
+        )
+
+    def quarantine_dot(
+        self, dot: Dot, *, receiver: int, extra: float
+    ) -> "Scenario":
+        """Delay every message carrying ``dot`` into ``receiver``.
+
+        Models the Theorem-1 adversary: a replica must not learn about an
+        event (by any route — RB, relay, or TOB delivery) until late.
+        """
+        return self.filter(quarantine_dot_rule(dot, receiver=receiver, extra=extra))
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def _claim_label(self, label: str) -> None:
+        if label in self._labels:
+            raise ValueError(f"duplicate scenario label {label!r}")
+        self._labels.add(label)
+
+    def invoke(
+        self,
+        at: float,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool = False,
+        label: Optional[str] = None,
+    ) -> "Scenario":
+        """Schedule an open-loop invocation at absolute time ``at``."""
+        if label is None:
+            index = len(self._scripted)
+            label = f"{op.name}#{index}"
+            while label in self._labels:  # sidestep user-chosen "name#n" labels
+                index += 1
+                label = f"{op.name}#{index}"
+        self._claim_label(label)
+        self._scripted.append(_ScriptedOp(at, pid, op, strong, label))
+        return self
+
+    def client(self, pid: int, *, think_time: float = 0.0) -> ScenarioClient:
+        """A closed-loop client script bound to replica ``pid``."""
+        client = ScenarioClient(self, pid, think_time)
+        self._clients.append(client)
+        return client
+
+    def workload(
+        self,
+        profile: Union[str, WorkloadProfile],
+        *,
+        ops_per_session: int = 10,
+        think_time: float = 0.5,
+        seed: int = 0,
+        strong_probability: Optional[float] = None,
+    ) -> "Scenario":
+        """Drive a random closed-loop workload (one session per replica)."""
+        if isinstance(profile, str):
+            if strong_probability is not None:
+                profile = PROFILES[profile](strong_probability=strong_probability)
+            else:
+                profile = PROFILES[profile]()
+        elif strong_probability is not None:
+            profile = dataclasses.replace(
+                profile, strong_probability=strong_probability
+            )
+        self._workloads.append(
+            _WorkloadSpec(profile, ops_per_session, think_time, seed)
+        )
+        return self
+
+    def at(self, time: float, hook: Callable[["LiveRun"], None]) -> "Scenario":
+        """Run ``hook(live_run)`` at simulated time ``time`` (custom steps)."""
+        self._hooks.append((time, hook))
+        return self
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def probes(
+        self,
+        make_op: Callable[[], Operation],
+        *,
+        spacing: Optional[float] = None,
+    ) -> "Scenario":
+        """Issue post-stabilisation read probes (witnesses for EV/CPar)."""
+        self._probe_op = make_op
+        self._probe_spacing = spacing
+        return self
+
+    def checks(
+        self,
+        *,
+        fec: Optional[str] = None,
+        bec: Optional[str] = None,
+        seq: Optional[str] = None,
+        ncc: bool = False,
+        session_guarantees: bool = False,
+    ) -> "Scenario":
+        """Select the guarantee reports :class:`RunResult` should carry.
+
+        ``fec``/``bec``/``seq`` name the consistency level to check (e.g.
+        ``fec="weak"``); ``ncc`` and ``session_guarantees`` are flags.
+        """
+        if fec is not None:
+            self._checks.append(("fec", fec))
+        if bec is not None:
+            self._checks.append(("bec", bec))
+        if seq is not None:
+            self._checks.append(("seq", seq))
+        if ncc:
+            self._checks.append(("ncc", None))
+        if session_guarantees:
+            self._checks.append(("sessions", None))
+        return self
+
+    # ------------------------------------------------------------------
+    # Compilation and running
+    # ------------------------------------------------------------------
+    def build(self) -> "LiveRun":
+        """Compile to a live cluster with everything scheduled."""
+        if self._datatype is None:
+            raise ValueError("Scenario needs a datatype (pass one or .datatype())")
+        kwargs = dict(self._config_kwargs)
+        # Merge into copies: never mutate dicts the caller handed to
+        # .config(), so one Scenario cannot bleed drift into another.
+        for key, extra in (
+            ("clock_offsets", self._clock_offsets),
+            ("clock_rates", self._clock_rates),
+            ("exec_delay_overrides", self._exec_overrides),
+        ):
+            if extra:
+                merged = dict(kwargs.get(key, {}))
+                merged.update(extra)
+                kwargs[key] = merged
+        config = BayouConfig(**kwargs)
+
+        partitions = None
+        if self._partition_events:
+            partitions = PartitionSchedule(config.n_replicas)
+            for kind, at, groups in self._partition_events:
+                if kind == "split":
+                    partitions.split(at, groups)
+                else:
+                    partitions.heal(at)
+
+        filters = None
+        if self._filter_builders:
+            filters = MessageFilter()
+            for build_filter in self._filter_builders:
+                build_filter(filters)
+
+        cluster = BayouCluster(
+            self._datatype,
+            config,
+            protocol=self._protocol,
+            partitions=partitions,
+            filters=filters,
+        )
+        return LiveRun(self, cluster)
+
+    def run(
+        self,
+        *,
+        until: Optional[float] = None,
+        well_formed: bool = True,
+        max_time: float = 100_000.0,
+    ) -> "RunResult":
+        """Build, run to completion, probe, check — the one-call pipeline.
+
+        With the Paxos engine the run goes through ``run_until_stable`` and
+        an orderly shutdown; otherwise it runs to quiescence. ``until``
+        caps the simulated time instead and yields a *snapshot*: probes and
+        the engine shutdown are skipped so the clock never advances past
+        the cap (for richer mid-run control prefer :meth:`build` +
+        :class:`LiveRun`).
+        """
+        live = self.build()
+        if until is not None:
+            live.run(until=until)
+        else:
+            live.settle(max_time=max_time)
+        return live.finish(
+            well_formed=well_formed, max_time=max_time, settle=until is None
+        )
+
+
+class LiveRun:
+    """A compiled, running scenario: the mid-flight control handle."""
+
+    def __init__(self, scenario: Scenario, cluster: BayouCluster) -> None:
+        self.scenario = scenario
+        self.cluster = cluster
+        #: label -> OpFuture for every labelled scripted/client operation.
+        self.futures: Dict[str, OpFuture] = {}
+        #: Sessions of the scripted clients, in declaration order (a pid
+        #: may appear more than once).
+        self.sessions: List[Session] = []
+        self.workloads: List[RandomWorkload] = []
+        self._schedule_everything()
+
+    # -- wiring --------------------------------------------------------
+    def _schedule_everything(self) -> None:
+        for scripted in self.scenario._scripted:
+            self.cluster.sim.schedule_at(
+                scripted.at,
+                lambda s=scripted: self._fire_scripted(s),
+                label=f"scenario invoke R{scripted.pid} {scripted.op}",
+            )
+        for client in self.scenario._clients:
+            session = self.cluster.connect(
+                client.pid, think_time=client.think_time
+            )
+            self.sessions.append(session)
+            for op, strong, op_label in client.ops:
+                future = session.submit(op, strong=strong)
+                if op_label is not None:
+                    self.futures[op_label] = future
+        for spec in self.scenario._workloads:
+            workload = RandomWorkload(
+                self.cluster,
+                spec.profile,
+                ops_per_session=spec.ops_per_session,
+                think_time=spec.think_time,
+                seed=spec.seed,
+            )
+            workload.start()
+            self.workloads.append(workload)
+        for time, hook in self.scenario._hooks:
+            self.cluster.sim.schedule_at(
+                time, lambda h=hook: h(self), label="scenario hook"
+            )
+
+    # -- driving -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    def submit(
+        self,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool = False,
+        label: Optional[str] = None,
+    ) -> OpFuture:
+        """Invoke right now (open loop); labelled futures land in the result.
+
+        Rejects labels already recorded *or* declared on the scenario, so a
+        collision with a scripted/client label that has not fired yet is
+        caught at the call site, not later inside the event loop.
+        """
+        if label is not None and (
+            label in self.futures or label in self.scenario._labels
+        ):
+            raise ValueError(f"duplicate scenario label {label!r}")
+        future = self.cluster.submit(pid, op, strong=strong)
+        if label is not None:
+            self.futures[label] = future
+        return future
+
+    def _fire_scripted(self, scripted: _ScriptedOp) -> None:
+        """Run one declared invocation (its label was claimed at declaration)."""
+        self.futures[scripted.label] = self.cluster.submit(
+            scripted.pid, scripted.op, strong=scripted.strong
+        )
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.cluster.run(until=until)
+
+    def run_until_quiescent(self) -> float:
+        return self.cluster.run_until_quiescent()
+
+    def run_until_stable(self, **kwargs: Any) -> bool:
+        return self.cluster.run_until_stable(**kwargs)
+
+    def settle(self, *, max_time: float = 100_000.0) -> None:
+        """Run until the workload is done, whatever the TOB engine.
+
+        The sequencer engine quiesces naturally; the Paxos engine keeps
+        heartbeat/retry timers alive forever, so it is driven to a stable
+        state bounded by ``max_time`` instead.
+        """
+        if self.cluster.config.tob_engine == "paxos":
+            self.cluster.run_until_stable(max_time=max_time)
+        else:
+            self.cluster.run_until_quiescent()
+
+    def shutdown(self) -> None:
+        self.cluster.shutdown()
+
+    def converged(self) -> bool:
+        return self.cluster.converged()
+
+    def history(self, *, well_formed: bool = True) -> History:
+        """Freeze the current staged records into a checkable history."""
+        return self.cluster.build_history(well_formed=well_formed)
+
+    # -- finishing -----------------------------------------------------
+    def add_probes(self, *, max_time: float = 100_000.0) -> None:
+        """Issue the configured horizon probes and run them to completion."""
+        if self.scenario._probe_op is None:
+            return
+        self.cluster.add_horizon_probes(
+            self.scenario._probe_op, spacing=self.scenario._probe_spacing
+        )
+        self.settle(max_time=max_time)
+
+    def finish(
+        self,
+        *,
+        well_formed: bool = True,
+        max_time: float = 100_000.0,
+        settle: bool = True,
+    ) -> "RunResult":
+        """Probe, freeze the history, run the configured checks.
+
+        With ``settle`` (the default) this is terminal: probes are issued
+        and, for Paxos runs, the engine's perpetual timers are shut down so
+        the simulation can drain. ``settle=False`` freezes a snapshot at
+        the current simulated time instead, advancing nothing.
+        """
+        if settle:
+            self.add_probes(max_time=max_time)
+            if self.cluster.config.tob_engine == "paxos":
+                self.shutdown()
+                self.cluster.run_until_quiescent()
+        history = self.history(well_formed=well_formed)
+        execution = build_abstract_execution(history)
+        checks: Dict[str, Any] = {}
+        session_guarantees: Optional[Dict[str, Any]] = None
+        for kind, level in self.scenario._checks:
+            if kind == "fec":
+                checks[f"fec:{level}"] = check_fec(execution, level)
+            elif kind == "bec":
+                checks[f"bec:{level}"] = check_bec(execution, level)
+            elif kind == "seq":
+                checks[f"seq:{level}"] = check_seq(execution, level)
+            elif kind == "ncc":
+                checks["ncc"] = check_ncc(execution)
+            elif kind == "sessions":
+                session_guarantees = check_all_session_guarantees(execution)
+        return RunResult(
+            name=self.scenario.name,
+            protocol=self.cluster.protocol,
+            cluster=self.cluster,
+            history=history,
+            execution=execution,
+            futures=dict(self.futures),
+            checks=checks,
+            session_guarantees=session_guarantees,
+            convergence=self.cluster.convergence_report(),
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything one scenario run produced, structured for assertions."""
+
+    name: str
+    protocol: str
+    cluster: BayouCluster = field(repr=False)
+    history: History = field(repr=False)
+    execution: Any = field(repr=False)
+    futures: Dict[str, OpFuture] = field(repr=False)
+    checks: Dict[str, Any] = field(repr=False)
+    session_guarantees: Optional[Dict[str, Any]] = field(repr=False)
+    convergence: Dict[str, Any] = field(repr=False)
+
+    # -- responses -----------------------------------------------------
+    @property
+    def responses(self) -> Dict[str, Any]:
+        """label -> response value (∇ for operations still pending)."""
+        return {label: future.rval for label, future in self.futures.items()}
+
+    def future(self, label: str) -> OpFuture:
+        return self.futures[label]
+
+    def _invoked_dot(self, label: str):
+        future = self.futures[label]
+        if future.dot is None:
+            raise PendingResponseError(
+                f"operation {label!r} was never invoked — the run was "
+                "snapshotted before its session reached it"
+            )
+        return future.dot
+
+    def event(self, label: str):
+        """The :class:`HistoryEvent` of a labelled operation."""
+        return self.history.event(self._invoked_dot(label))
+
+    def sub_history(self, labels: Sequence[str]) -> History:
+        """A history restricted to the labelled events (for the search)."""
+        eids = {self._invoked_dot(label) for label in labels}
+        return History(
+            [event for event in self.history.events if event.eid in eids],
+            self.history.datatype,
+        )
+
+    # -- verdicts ------------------------------------------------------
+    @property
+    def converged(self) -> bool:
+        return bool(self.convergence["converged"])
+
+    def check(self, name: str) -> Any:
+        """A requested guarantee report, e.g. ``check("fec:weak")``."""
+        return self.checks[name]
+
+    def ok(self, name: str) -> bool:
+        return bool(self.checks[name].ok)
+
+    # -- state and metrics ---------------------------------------------
+    def query(self, op: Operation) -> Any:
+        """Execute a read-only ``op`` against replica 0's converged state."""
+        snapshot = PlainDb(self.cluster.replicas[0].state.snapshot())
+        return self.history.datatype.execute(op, snapshot)
+
+    def latencies(
+        self, level: Optional[str] = None, *, session: Optional[int] = None
+    ) -> List[float]:
+        """Response latencies from the history (optionally filtered)."""
+        samples = []
+        for event in self.history.events:
+            if event.return_time is None:
+                continue
+            if level is not None and event.level != level:
+                continue
+            if session is not None and event.session != session:
+                continue
+            samples.append(event.return_time - event.invoke_time)
+        return samples
+
+    @property
+    def weak_latencies(self) -> List[float]:
+        return self.latencies(WEAK)
+
+    @property
+    def strong_latencies(self) -> List[float]:
+        return self.latencies(STRONG)
