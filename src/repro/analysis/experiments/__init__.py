@@ -8,11 +8,17 @@ from repro.analysis.experiments.progress import (
     run_clock_slowdown,
     run_slow_replica,
 )
+from repro.analysis.experiments.reorder import (
+    run_divergent_suffix,
+    run_drifting_clock,
+)
 from repro.analysis.experiments.theorem1 import run_theorem1_live
 from repro.analysis.experiments.theorems import run_theorem2, run_theorem3
 
 __all__ = [
     "run_clock_slowdown",
+    "run_divergent_suffix",
+    "run_drifting_clock",
     "run_figure1",
     "run_figure2",
     "run_matrix",

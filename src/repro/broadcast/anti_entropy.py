@@ -25,6 +25,18 @@ link at most once per sync instead of n² relays. The
 ``tests/test_anti_entropy.py`` suite checks the same delivery contract RB
 satisfies (everything reaches everyone, exactly once, partitions heal), and
 the dissemination benchmark compares message counts.
+
+Batching: a sync session already ships the whole missing log suffix in one
+``push`` message. When the host provides a ``deliver_batch`` callback, the
+endpoint also *delivers* that suffix as one batch — every newly contiguous
+request handed over in a single call — so a Bayou replica can insert all of
+them into its tentative order and recompute its execution schedule once
+(:meth:`BayouReplica.on_rb_deliver_batch`) instead of once per request.
+Without ``deliver_batch`` each request is delivered individually, exactly
+the seed behaviour; both paths produce identical replica state.
+
+Delivery-order invariant either way: per-origin by contiguous event number,
+origins in the order the pushing peer enumerated them.
 """
 
 from __future__ import annotations
@@ -37,6 +49,7 @@ from repro.sim.trace import TraceLog
 _TAG = "antientropy"
 
 DeliverFn = Callable[[Hashable, Any], None]
+DeliverBatchFn = Callable[[List[Tuple[Hashable, Any]]], None]
 
 
 class AntiEntropy:
@@ -53,6 +66,7 @@ class AntiEntropy:
         node: RoutingNode,
         deliver: DeliverFn,
         *,
+        deliver_batch: Optional[DeliverBatchFn] = None,
         sync_interval: float = 2.0,
         deliver_own: bool = False,
         trace: Optional[TraceLog] = None,
@@ -60,6 +74,7 @@ class AntiEntropy:
     ) -> None:
         self.node = node
         self._deliver = deliver
+        self._deliver_batch = deliver_batch
         self._deliver_own = deliver_own
         self.sync_interval = sync_interval
         self.trace = trace
@@ -98,7 +113,7 @@ class AntiEntropy:
             raise ValueError(
                 f"rb_cast of foreign dot {key!r} on replica {self.node.pid}"
             )
-        self._absorb(key, payload)
+        self._absorb(key, payload)  # own origin: logged, never re-delivered
         if self._deliver_own:
             self._deliver(key, payload)
         self._arm_timer()
@@ -110,30 +125,38 @@ class AntiEntropy:
     # ------------------------------------------------------------------
     # Log plumbing
     # ------------------------------------------------------------------
-    def _absorb(self, key: Tuple[int, int], payload: Any) -> None:
+    def _absorb(self, key: Tuple[int, int], payload: Any) -> List[Tuple[Hashable, Any]]:
+        """Log ``(key, payload)``; return newly contiguous foreign requests."""
         origin, number = key
         log = self._log.setdefault(origin, {})
         if number in log:
-            return
+            return []
         log[number] = payload
-        # Advance the contiguous frontier, delivering in per-origin order.
+        # Advance the contiguous frontier, collecting in per-origin order.
         new_frontier = self._version_vector.get(origin, 0)
-        delivered: List[Tuple[int, Any]] = []
+        ready: List[Tuple[Hashable, Any]] = []
         while new_frontier + 1 in log:
             new_frontier += 1
-            delivered.append((new_frontier, log[new_frontier]))
+            if origin != self.node.pid:
+                # Local requests were handled at rb_cast time.
+                ready.append(((origin, new_frontier), log[new_frontier]))
         self._version_vector[origin] = new_frontier
-        for number_delivered, payload_delivered in delivered:
-            if origin == self.node.pid:
-                continue  # local requests were handled at rb_cast time
-            if self.trace is not None:
+        return ready
+
+    def _dispatch(self, items: List[Tuple[Hashable, Any]]) -> None:
+        """Deliver ``items`` — in one batch when the host supports it."""
+        if not items:
+            return
+        if self.trace is not None:
+            for key, _ in items:
                 self.trace.record(
-                    self.node.sim.now,
-                    self.node.pid,
-                    "ae.deliver",
-                    key=(origin, number_delivered),
+                    self.node.sim.now, self.node.pid, "ae.deliver", key=key
                 )
-            self._deliver((origin, number_delivered), payload_delivered)
+        if self._deliver_batch is not None:
+            self._deliver_batch(items)
+        else:
+            for key, payload in items:
+                self._deliver(key, payload)
 
     # ------------------------------------------------------------------
     # Sync protocol
@@ -209,8 +232,10 @@ class AntiEntropy:
             self._offer(sender, dict(payload), reply_always=True)
         elif kind == "push":
             updates, their_vector = payload
+            ready: List[Tuple[Hashable, Any]] = []
             for key, update_payload in updates:
-                self._absorb(tuple(key), update_payload)
+                ready.extend(self._absorb(tuple(key), update_payload))
+            self._dispatch(ready)
             # If *we* now hold something the pusher lacks, push back once.
             self._offer(sender, dict(their_vector), reply_always=False)
         else:  # pragma: no cover - defensive

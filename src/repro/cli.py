@@ -56,6 +56,12 @@ def _run_performance() -> None:
     performance.main()
 
 
+def _run_reorder() -> None:
+    from repro.analysis.experiments import reorder
+
+    reorder.main()
+
+
 def _run_sessions() -> None:
     from repro.analysis.experiments import sessions
 
@@ -71,6 +77,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "matrix": ("E7: guarantee matrix across systems", _run_matrix),
     "performance": ("E8: latency/throughput envelope", _run_performance),
     "sessions": ("E9: session-guarantee cost of Algorithm 2", _run_sessions),
+    "reorder": ("E10: checkpointed reorder engine at scale", _run_reorder),
 }
 
 

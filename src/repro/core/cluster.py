@@ -88,7 +88,7 @@ class BayouCluster:
         self.datatype = datatype
 
         self.sim = Simulator()
-        self.trace = TraceLog()
+        self.trace = TraceLog() if self.config.enable_trace else None
         self.rngs = SeededRngRegistry(self.config.seed)
         self.partitions = partitions or PartitionSchedule(self.config.n_replicas)
         self.filters = filters or MessageFilter()
@@ -145,6 +145,7 @@ class BayouCluster:
                 replica.rb = AntiEntropy(
                     node,
                     replica.on_rb_deliver,
+                    deliver_batch=replica.on_rb_deliver_batch,
                     sync_interval=config.ae_sync_interval,
                     trace=self.trace,
                 )

@@ -37,6 +37,30 @@ class BayouConfig:
         Modified protocol only (footnote 8): skip the immediate rollback when
         the freshly executed weak request lands at the very tail of the
         current order anyway.
+    reorder_engine:
+        How rollback/replay work is scheduled. ``"stepwise"`` (default, the
+        paper's literal reading) processes one rollback or execution per
+        internal step, each costing ``exec_delay``. ``"batched"`` drains the
+        whole backlog in a single simulation event scheduled after
+        ``backlog * exec_delay`` — same total simulated processing time,
+        O(1) scheduler events, and rollbacks performed via
+        :meth:`StateObject.revert_to` (checkpoint-aware when
+        ``checkpoint_interval`` is set). See ``docs/PERFORMANCE.md``.
+    checkpoint_interval:
+        When set, each replica's :class:`StateObject` keeps a full-state
+        checkpoint every that-many executions, letting the batched engine
+        restore long divergent suffixes from the nearest checkpoint at or
+        before the divergence point instead of unwinding request-by-request.
+        ``None`` (default) keeps the seed's pure undo-log behaviour.
+    record_perceived_traces:
+        Capture ``exec(e)`` (the perceived state trace) for every response,
+        as the formal framework requires. Costs O(trace) time and memory
+        per response — O(n²) over a run — so scale benchmarks turn it off;
+        perceived-order checks then fall back to the final arbitration
+        order.
+    enable_trace:
+        Attach the diagnostic :class:`TraceLog` to every component.
+        Disable for scale runs where per-event trace records dominate.
     seed:
         Master seed for all random streams.
     """
@@ -57,6 +81,10 @@ class BayouConfig:
     clock_offsets: Dict[int, float] = field(default_factory=dict)
     clock_rates: Dict[int, float] = field(default_factory=dict)
     optimize_tail_execution: bool = False
+    reorder_engine: str = "stepwise"
+    checkpoint_interval: Optional[int] = None
+    record_perceived_traces: bool = True
+    enable_trace: bool = True
     seed: int = 0
 
     def exec_delay_for(self, pid: int) -> float:
@@ -94,4 +122,11 @@ class BayouConfig:
             raise ValueError(
                 "retransmit_interval must be positive when set, "
                 f"got {self.retransmit_interval!r}"
+            )
+        if self.reorder_engine not in ("stepwise", "batched"):
+            raise ValueError(f"unknown reorder_engine {self.reorder_engine!r}")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                "checkpoint_interval must be a positive integer when set, "
+                f"got {self.checkpoint_interval!r}"
             )

@@ -55,9 +55,15 @@ class ModifiedBayouReplica(BayouReplica):
             return req
 
         # Lines 4-7: immediate execution on the current state, immediate
-        # (tentative) response, then rollback.
-        perceived = self.current_trace_dots()
-        response = self.state.execute(req)
+        # (tentative) response, then rollback. Whether footnote 8 keeps the
+        # execution is decided *before* executing: a kept execution takes
+        # its due checkpoint, while one about to be reverted suppresses the
+        # capture — a snapshot of a state about to be undone is wasted work
+        # under BayouConfig.checkpoint_interval.
+        readonly = self.datatype.is_readonly(op)
+        keep = not readonly and self._may_keep_execution(req)
+        perceived = self._capture_perceived()
+        response = self.state.execute(req, checkpoint=keep)
         self.execution_count += 1
         if self.trace is not None:
             self.trace.record(
@@ -65,11 +71,10 @@ class ModifiedBayouReplica(BayouReplica):
             )
         self._respond(req, response, perceived, stable=False)
 
-        readonly = self.datatype.is_readonly(op)
-        if not readonly and self._may_keep_execution(req):
+        if keep:
             # Footnote 8: the request would be re-executed at the very same
             # position; keep it and skip the rollback/re-execution churn.
-            self.executed.append(req)
+            self._append_executed(req)
         else:
             self.state.rollback(req)
             self.rollback_count += 1

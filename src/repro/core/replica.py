@@ -19,11 +19,35 @@ Every structure and handler below maps line-for-line onto the pseudocode:
 
 Responses: weak operations return at their first execution (line 50); strong
 operations return once executed *and* committed (line 49 or lines 32–33).
+
+Engine invariants (shared by both reorder engines, see ``docs/PERFORMANCE.md``):
+
+- ``executed`` is always a *prefix* of the most recently adjusted order, and
+  ``executed ++ to_be_executed`` equals that order as a sequence. This is
+  what lets the hot paths below (tail insertion, head commit) skip the full
+  O(n) ``adjust_execution`` diff: an insertion at the very tail of
+  ``committed · tentative`` extends the schedule by exactly that request,
+  and a TOB commit of the current tentative head leaves the concatenated
+  sequence — and therefore the schedule — untouched.
+- the state object's live trace equals ``executed ++
+  reversed(to_be_rolled_back)`` at all times, so draining the rollback queue
+  is equivalent to ``StateObject.revert_to(len(executed))`` — the batched
+  engine uses exactly that, restoring from a checkpoint at or before the
+  divergence point when one is closer than the undo-log tail.
+- rollback/execution *counts* are logical: the same sequence of schedule
+  adjustments produces the same ``rollback_count`` whether the work is done
+  stepwise (one simulation event per request, the paper's literal reading)
+  or batched (the whole backlog in one event). The *schedules themselves*
+  can differ across engines under backlog: the batched engine executes
+  later, so overlapping reorder storms can coalesce — never more logical
+  rollbacks than stepwise, sometimes fewer (see ``docs/PERFORMANCE.md``);
+  checkpointing, by contrast, never changes any count.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from bisect import insort
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.total_order import TotalOrderBroadcast
@@ -67,11 +91,17 @@ class BayouReplica:
         #: stabilise the request's OpFuture).
         self.commit_listener: Optional[Callable[[Req], None]] = None
 
-        self.state = StateObject(datatype)
+        self.state = StateObject(
+            datatype, checkpoint_interval=config.checkpoint_interval
+        )
         self.curr_event_no = 0
         self.committed: List[Req] = []
         self.tentative: List[Req] = []
         self.executed: List[Req] = []
+        #: Mirror of ``[r.dot for r in executed]`` so perceived-trace capture
+        #: is a C-level tuple copy instead of an O(n) comprehension per
+        #: response (a hot path: every weak response snapshots the trace).
+        self._executed_dots: List[Dot] = []
         self.to_be_executed: List[Req] = []
         self.to_be_rolled_back: List[Req] = []
         #: dot -> (response, trace at computation); _NO_RESPONSE if not yet.
@@ -88,6 +118,11 @@ class BayouReplica:
         self._step_scheduled = False
         self._retransmit_armed = False
         self._stopped = False
+        self._batched = config.reorder_engine == "batched"
+        #: Simulated time at which the currently armed batch drains.
+        self._batch_deadline: Optional[float] = None
+        #: Backlog items already charged into the armed deadline.
+        self._batch_charged = 0
 
         # Metrics.
         self.execution_count = 0
@@ -121,12 +156,32 @@ class BayouReplica:
     # Ordering (lines 16-21)
     # ------------------------------------------------------------------
     def adjust_tentative_order(self, req: Req) -> None:
-        """Insert ``req`` into the timestamp-sorted tentative list."""
-        previous = [r for r in self.tentative if r < req]
-        subsequent = [r for r in self.tentative if req < r]
-        self.tentative = previous + [req] + subsequent
+        """Insert ``req`` into the timestamp-sorted tentative list.
+
+        Hot path: most requests arrive in timestamp order and land at the
+        very tail of ``committed · tentative``. The executed prefix is then
+        untouched, nothing rolls back, and the execution schedule simply
+        grows by ``req`` — no O(n) re-diff needed. Out-of-order arrivals
+        (drifting clocks, healed partitions) take the full
+        :meth:`adjust_execution` path.
+        """
+        if self._insert_tentative(req):
+            self._schedule_step()
+        else:
+            self.adjust_execution(self.committed + self.tentative)
+
+    def _insert_tentative(self, req: Req) -> bool:
+        """Insert ``req``; True if the tail fast path applied (no re-diff)."""
         self._tentative_dots.add(req.dot)
-        self.adjust_execution(self.committed + self.tentative)
+        if not self.tentative or self.tentative[-1] < req:
+            self.tentative.append(req)
+            if not (self.executed and self.executed[-1].dot == req.dot):
+                # Not already executed (the modified protocol's footnote-8
+                # path keeps its immediate tail execution): schedule it.
+                self.to_be_executed.append(req)
+            return True
+        insort(self.tentative, req)
+        return False
 
     # ------------------------------------------------------------------
     # Deliveries (lines 22-34)
@@ -143,20 +198,74 @@ class BayouReplica:
             )
         self.adjust_tentative_order(req)
 
+    def on_rb_deliver_batch(self, items: Iterable[Tuple[Dot, Req]]) -> None:
+        """Deliver a batch of RB messages, recomputing the schedule once.
+
+        Used by the anti-entropy substrate, whose sync sessions ship whole
+        log suffixes in one message: inserting every request and *then*
+        diffing the order once turns the O(k·n) per-request delivery into
+        O(n). The resulting tentative order, execution schedule and rollback
+        queue are identical to delivering the requests one at a time.
+        """
+        fresh: List[Req] = []
+        for _, req in items:
+            if req.dot[0] == self.pid:
+                continue
+            if req.dot in self._committed_dots or req.dot in self._tentative_dots:
+                continue
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.sim.now, self.pid, "bayou.rb_deliver", dot=req.dot
+                )
+            fresh.append(req)
+        if not fresh:
+            return
+        all_tail = True
+        for req in fresh:
+            # Stale fast-path appends to to_be_executed are harmless: the
+            # full adjust below recomputes the schedule wholesale.
+            all_tail = self._insert_tentative(req) and all_tail
+        if all_tail:
+            self._schedule_step()
+        else:
+            self.adjust_execution(self.committed + self.tentative)
+
     def on_tob_deliver(self, key: Dot, req: Req) -> None:
-        """TOB-delivery handler (lines 27-34)."""
+        """TOB-delivery handler (lines 27-34).
+
+        Hot paths: committing the current *tentative head* moves it across
+        the ``committed · tentative`` boundary without changing the
+        concatenated sequence, so the execution schedule is already correct
+        and the O(n) re-diff is skipped — a healed-partition commit flood
+        performs a linear number of re-diffs (zero) instead of a quadratic
+        one. (The ``pop(0)`` below still shifts the tentative list — a
+        C-level memmove, ~40 ms across a 10⁴-commit flood — which profiling
+        shows is dwarfed by the avoided per-commit diffs.) A commit of an
+        unknown request while no tentative requests exist appends to the
+        order tail and extends the schedule in place.
+        """
         if req.dot in self._committed_dots:
             return  # defensive: engines deliver each key once
         self.committed.append(req)
         self._committed_dots.add(req.dot)
-        if req.dot in self._tentative_dots:
-            self.tentative = [r for r in self.tentative if r.dot != req.dot]
-            self._tentative_dots.discard(req.dot)
         if self.trace is not None:
             self.trace.record(
                 self.node.sim.now, self.pid, "bayou.tob_deliver", dot=req.dot
             )
-        self.adjust_execution(self.committed + self.tentative)
+        if req.dot in self._tentative_dots:
+            self._tentative_dots.discard(req.dot)
+            if self.tentative[0].dot == req.dot:
+                self.tentative.pop(0)  # head commit: order sequence unchanged
+            else:
+                self.tentative = [r for r in self.tentative if r.dot != req.dot]
+                self.adjust_execution(self.committed + self.tentative)
+        elif not self.tentative:
+            # Unknown request, empty tentative list: the order grew at its
+            # tail; executed stays a prefix, the schedule just gains req.
+            self.to_be_executed.append(req)
+            self._schedule_step()
+        else:
+            self.adjust_execution(self.committed + self.tentative)
         if req.dot in self._awaiting and any(r.dot == req.dot for r in self.executed):
             stored = self._awaiting.pop(req.dot)
             assert stored is not _NO_RESPONSE, "executed request lacks a response"
@@ -177,7 +286,8 @@ class BayouReplica:
             in_order.append(executed_req)
         out_of_order = self.executed[len(in_order):]
         self.executed = in_order
-        executed_dots = {r.dot for r in self.executed}
+        self._executed_dots = [r.dot for r in in_order]
+        executed_dots = set(self._executed_dots)
         self.to_be_executed = [r for r in new_order if r.dot not in executed_dots]
         self.to_be_rolled_back = self.to_be_rolled_back + list(reversed(out_of_order))
         self._schedule_step()
@@ -186,9 +296,14 @@ class BayouReplica:
     # Internal events (lines 41-55), as simulation steps
     # ------------------------------------------------------------------
     def _schedule_step(self) -> None:
-        if self._step_scheduled or self._stopped:
+        if self._stopped:
             return
         if not self.to_be_rolled_back and not self.to_be_executed:
+            return
+        if self._batched:
+            self._arm_batch()
+            return
+        if self._step_scheduled:
             return
         self._step_scheduled = True
         self.node.set_timer(
@@ -212,16 +327,118 @@ class BayouReplica:
             self._execute_one(head)
         self._schedule_step()
 
+    # -- batched engine -------------------------------------------------
+    def _arm_batch(self) -> None:
+        """Extend the batch deadline to cover the current backlog.
+
+        Each backlog item is charged ``exec_delay`` exactly once: a fresh
+        batch drains at ``now + backlog × exec_delay`` — the same simulated
+        completion time the stepwise engine reaches with one event per
+        request — and new items arriving while a batch is armed extend the
+        *existing* deadline by their own cost rather than re-charging the
+        in-flight work from ``now``. Only the deadline moves; the armed
+        timer re-arms itself for the remainder when it fires early, so a
+        flood of same-time deliveries costs O(1) extra events.
+        """
+        backlog = len(self.to_be_rolled_back) + len(self.to_be_executed)
+        fresh = backlog - self._batch_charged
+        if fresh > 0:
+            base = (
+                self.node.sim.now
+                if self._batch_deadline is None
+                else max(self._batch_deadline, self.node.sim.now)
+            )
+            self._batch_deadline = base + fresh * self.config.exec_delay_for(self.pid)
+            self._batch_charged = backlog
+        if self._batch_deadline is not None and not self._step_scheduled:
+            self._step_scheduled = True
+            self.node.set_timer(
+                self._batch_deadline - self.node.sim.now,
+                self._batch_step,
+                label=f"bayou.batch r{self.pid}",
+            )
+
+    def _batch_step(self) -> None:
+        self._step_scheduled = False
+        if self._stopped or self._batch_deadline is None:
+            return
+        remaining = self._batch_deadline - self.node.sim.now
+        if remaining > 1e-9:
+            # The deadline moved while we were queued: re-arm for the rest.
+            self._step_scheduled = True
+            self.node.set_timer(
+                remaining, self._batch_step, label=f"bayou.batch r{self.pid}"
+            )
+            return
+        self._batch_deadline = None
+        self._batch_charged = 0
+        if self.to_be_rolled_back:
+            count = len(self.to_be_rolled_back)
+            keep = len(self.executed)
+            self.state.revert_to(keep)
+            self.rollback_count += count
+            self.to_be_rolled_back = []
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.sim.now,
+                    self.pid,
+                    "bayou.rollback_batch",
+                    count=count,
+                    keep=keep,
+                )
+        queue = self.to_be_executed
+        #: Drain only what this deadline paid for — a reentrant responder
+        #: may tail-append new requests mid-drain; those wait for their own
+        #: exec_delay via the _schedule_step() at the end.
+        limit = len(queue)
+        index = 0
+        replayed = 0
+        while index < limit:
+            head = queue[index]
+            index += 1
+            if head.dot not in self._awaiting:
+                # Slim replay: no response to compute, no responder to call.
+                # Per-request trace records are replaced by one aggregate
+                # record below — the point of the batched engine is that a
+                # 10⁴-request replay is one drain, not 10⁴ bookkept events.
+                self.state.execute(head)
+                self.execution_count += 1
+                self._append_executed(head)
+                replayed += 1
+                continue
+            self._execute_one(head)
+            if self.to_be_executed is not queue:
+                # A reentrant responder triggered a full adjust_execution:
+                # the schedule was recomputed wholesale (consumed requests
+                # are in ``executed`` and excluded) and a new batch armed.
+                return
+            if self.to_be_rolled_back:
+                # A reentrant adjust queued rollbacks mid-drain: stop here
+                # and let the freshly armed batch drain the remainder.
+                del queue[:index]
+                self._schedule_step()
+                return
+        del queue[:index]
+        if replayed and self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.execute_batch", count=replayed
+            )
+        self._schedule_step()
+
     def _execute_one(self, head: Req) -> None:
         """Lines 46-55: execute one request and maybe respond."""
-        perceived = self.current_trace_dots()
+        awaiting = head.dot in self._awaiting
+        # The perceived trace is only consumed when a response is computed;
+        # materialising it for re-executions would cost O(trace) per replayed
+        # request — O(n²) across a long divergent suffix.
+        perceived = self._capture_perceived() if awaiting else ()
         response = self.state.execute(head)
         self.execution_count += 1
         if self.trace is not None:
             self.trace.record(
                 self.node.sim.now, self.pid, "bayou.execute", dot=head.dot
             )
-        if head.dot in self._awaiting:
+        if awaiting:
             if not head.strong or head.dot in self._committed_dots:
                 del self._awaiting[head.dot]
                 self._respond(
@@ -232,7 +449,11 @@ class BayouReplica:
                 )
             else:
                 self._awaiting[head.dot] = (response, perceived)
-        self.executed.append(head)
+        self._append_executed(head)
+
+    def _append_executed(self, req: Req) -> None:
+        self.executed.append(req)
+        self._executed_dots.append(req.dot)
 
     def _respond(
         self, req: Req, response: Any, perceived: Tuple[Dot, ...], stable: bool
@@ -258,10 +479,24 @@ class BayouReplica:
         This is ``exec(e)`` from the proof of Theorem 2 when captured at the
         instant a response is computed.
         """
-        return tuple(
-            [r.dot for r in self.executed]
-            + [r.dot for r in reversed(self.to_be_rolled_back)]
+        if not self.to_be_rolled_back:
+            return tuple(self._executed_dots)
+        return tuple(self._executed_dots) + tuple(
+            r.dot for r in reversed(self.to_be_rolled_back)
         )
+
+    def _capture_perceived(self) -> Optional[Tuple[Dot, ...]]:
+        """The perceived trace for a response — ``None`` when capture is off.
+
+        ``BayouConfig.record_perceived_traces=False`` trades the formal
+        framework's per-response ``exec(e)`` bookkeeping (O(trace) time and
+        memory per response, O(n²) per run) for scale; histories built from
+        such runs fall back to the final arbitration order in perceived-
+        order checks.
+        """
+        if not self.config.record_perceived_traces:
+            return None
+        return self.current_trace_dots()
 
     def current_order(self) -> List[Req]:
         """The replica's current ``committed · tentative`` order."""

@@ -1,4 +1,4 @@
-"""StateObject — Algorithm 3 of the paper.
+"""StateObject — Algorithm 3 of the paper, plus checkpointed restoration.
 
 Encapsulates the replica's copy of the replicated object as a register map
 ``db`` plus an ``undoLog``. Executing a request records, per register first
@@ -6,14 +6,36 @@ written by that request, the *previous* value; rolling the request back
 restores those values. Requests must be rolled back in reverse execution
 order (the replica's engine guarantees this; the object enforces it).
 
-The *current trace* of the state is the sequence of executed-and-not-rolled-
-back requests; the object's responses are always consistent with a
-sequential execution of the trace (verified by property tests).
+Invariants (the paper's rollback discussion, Section 2.2 / Algorithm 3):
+
+- **Trace**: the *current trace* of the state is the sequence of
+  executed-and-not-rolled-back requests, available as :attr:`live_requests`.
+  Responses are always consistent with a sequential execution of the trace
+  (verified by the property tests in ``tests/test_properties.py``).
+- **Undo log**: for every live request the object holds the pre-image of
+  each register the request wrote first. Applying those pre-images in
+  reverse execution order (LIFO) restores any earlier prefix of the trace
+  exactly — this is what makes Bayou's *tentative* executions revocable.
+- **Checkpoints** (this repository's extension, enabled via
+  ``checkpoint_interval``): every ``interval`` executions the object stores
+  a full copy of ``db`` keyed by the trace position. :meth:`revert_to` then
+  restores a prefix of the trace either by unwinding the undo log from the
+  tail or by restoring the nearest checkpoint at or before the target
+  position and *replaying* the few requests between the checkpoint and the
+  target — whichever touches fewer requests. Both strategies produce
+  bit-identical ``db`` contents because request execution is deterministic
+  (required of every :class:`~repro.datatypes.base.DataType`).
+- Register values are treated as **immutable**: data types write whole new
+  values instead of mutating stored ones. The undo log and the checkpoints
+  both rely on this (they keep shallow references, not deep copies).
+
+A checkpoint at position ``p`` remains valid as long as the first ``p``
+live requests are untouched; any rollback below ``p`` discards it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.request import Req
 from repro.datatypes.base import DataType, DbView
@@ -50,32 +72,81 @@ class _UndoTrackingView(DbView):
 
 
 class StateObject:
-    """Executable, rollback-able state of a replicated data type."""
+    """Executable, rollback-able state of a replicated data type.
 
-    def __init__(self, datatype: DataType) -> None:
+    Parameters
+    ----------
+    datatype:
+        The replicated data type executed against the register map.
+    checkpoint_interval:
+        When set (a positive integer), keep a full ``db`` snapshot every
+        ``interval`` executions (plus one at position 0, the empty state)
+        so :meth:`revert_to` can restore long prefixes in O(checkpoint)
+        instead of O(suffix) undo applications. ``None`` (the default)
+        disables checkpointing; :meth:`revert_to` then always unwinds the
+        undo log, which is exactly the seed per-request behaviour.
+    """
+
+    def __init__(
+        self, datatype: DataType, *, checkpoint_interval: Optional[int] = None
+    ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be positive, got {checkpoint_interval!r}"
+            )
         self.datatype = datatype
         self.db: Dict[Hashable, Any] = {}
         self._undo_log: Dict[Any, Dict[Hashable, Any]] = {}
-        #: Execution-ordered request dots with live undo entries; rollbacks
-        #: must happen in reverse of this order.
-        self._undo_order: List[Any] = []
+        #: Execution-ordered live requests (their undo entries are live);
+        #: rollbacks must happen in reverse of this order.
+        self._undo_order: List[Req] = []
+        self.checkpoint_interval = checkpoint_interval
+        #: position (= number of live requests captured) -> db copy,
+        #: ascending by position. Position 0 (empty state) is always kept
+        #: when checkpointing is on.
+        self._checkpoints: List[Tuple[int, Dict[Hashable, Any]]] = []
+        if checkpoint_interval is not None:
+            self._checkpoints.append((0, {}))
+        #: Metrics: how many checkpoint restores / undo unwinds revert_to ran.
+        self.checkpoint_restores = 0
+        self.undo_unwinds = 0
 
-    def execute(self, req: Req) -> Any:
-        """Execute ``req`` against the db, logging undo information."""
+    # ------------------------------------------------------------------
+    # Algorithm 3: execute / rollback
+    # ------------------------------------------------------------------
+    def execute(self, req: Req, *, checkpoint: bool = True) -> Any:
+        """Execute ``req`` against the db, logging undo information.
+
+        ``checkpoint=False`` suppresses checkpoint creation for this
+        execution — used by the modified protocol's execute-then-rollback
+        response path, where the execution is undone immediately and a
+        snapshot would be wasted work.
+        """
         view = _UndoTrackingView(self.db)
         response = self.datatype.execute(req.op, view)
         self._undo_log[req.dot] = view.undo_map
-        self._undo_order.append(req.dot)
+        self._undo_order.append(req)
+        if checkpoint:
+            self._maybe_checkpoint()
         return response
 
     def rollback(self, req: Req) -> None:
         """Undo ``req``; it must be the most recently executed live request."""
         if req.dot not in self._undo_log:
-            raise RollbackError(f"no undo entry for {req!r}")
-        if not self._undo_order or self._undo_order[-1] != req.dot:
             raise RollbackError(
-                f"out-of-order rollback of {req!r}; "
-                f"expected {self._undo_order[-1] if self._undo_order else None!r}"
+                f"no undo entry for {req.dot!r} ({req!r}); "
+                f"live log holds {len(self._undo_order)} request(s)"
+            )
+        if not self._undo_order or self._undo_order[-1].dot != req.dot:
+            position = next(
+                index
+                for index, live in enumerate(self._undo_order)
+                if live.dot == req.dot
+            )
+            raise RollbackError(
+                f"out-of-order rollback of {req.dot!r} at log position "
+                f"{position} of {len(self._undo_order)}; expected the tail "
+                f"request {self._undo_order[-1].dot!r}"
             )
         undo_map = self._undo_log.pop(req.dot)
         self._undo_order.pop()
@@ -84,7 +155,91 @@ class StateObject:
                 self.db.pop(register_id, None)
             else:
                 self.db[register_id] = previous
+        self._drop_stale_checkpoints()
 
+    # ------------------------------------------------------------------
+    # Checkpointed restoration
+    # ------------------------------------------------------------------
+    def revert_to(self, n_keep: int) -> int:
+        """Shrink the trace to its first ``n_keep`` requests; return the
+        number of requests reverted.
+
+        Picks the cheaper of two strategies:
+
+        - **undo unwind**: apply the undo log from the tail, touching
+          ``len(trace) - n_keep`` requests (the only strategy when
+          checkpointing is off — identical to per-request rollbacks);
+        - **checkpoint restore**: reset ``db`` to the nearest checkpoint at
+          or before ``n_keep`` and re-execute the ``n_keep - position``
+          requests between it and the target.
+
+        Either way the resulting ``db``, undo log and trace are identical
+        (deterministic execution), so callers may treat the reverted count
+        as the number of logical rollbacks performed.
+        """
+        length = len(self._undo_order)
+        if not 0 <= n_keep <= length:
+            raise RollbackError(
+                f"cannot revert to position {n_keep} of a {length}-entry log"
+            )
+        reverted = length - n_keep
+        if reverted == 0:
+            return 0
+        checkpoint = self._nearest_checkpoint(n_keep)
+        if checkpoint is not None and (n_keep - checkpoint[0]) < reverted:
+            self._restore_checkpoint(checkpoint, n_keep)
+            self.checkpoint_restores += 1
+        else:
+            for req in reversed(self._undo_order[n_keep:]):
+                self.rollback(req)
+            self.undo_unwinds += 1
+        return reverted
+
+    def _maybe_checkpoint(self) -> None:
+        interval = self.checkpoint_interval
+        if interval is None:
+            return
+        position = len(self._undo_order)
+        if position % interval != 0:
+            return
+        if self._checkpoints and self._checkpoints[-1][0] == position:
+            return  # already captured (e.g. during a checkpoint replay)
+        self._checkpoints.append((position, dict(self.db)))
+
+    def _nearest_checkpoint(
+        self, n_keep: int
+    ) -> Optional[Tuple[int, Dict[Hashable, Any]]]:
+        """The highest-position checkpoint at or before ``n_keep``."""
+        best = None
+        for entry in self._checkpoints:
+            if entry[0] > n_keep:
+                break
+            best = entry
+        return best
+
+    def _restore_checkpoint(
+        self, checkpoint: Tuple[int, Dict[Hashable, Any]], n_keep: int
+    ) -> None:
+        position, snapshot = checkpoint
+        replay = self._undo_order[position:n_keep]
+        for req in self._undo_order[position:]:
+            del self._undo_log[req.dot]
+        del self._undo_order[position:]
+        self._checkpoints = [c for c in self._checkpoints if c[0] <= position]
+        self.db = dict(snapshot)
+        for req in replay:
+            self.execute(req)
+
+    def _drop_stale_checkpoints(self) -> None:
+        if not self._checkpoints:
+            return
+        length = len(self._undo_order)
+        while self._checkpoints and self._checkpoints[-1][0] > length:
+            self._checkpoints.pop()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def peek(self, register_id: Hashable) -> Optional[Any]:
         """Read a register directly (test/diagnostic helper)."""
         return self.db.get(register_id)
@@ -96,4 +251,9 @@ class StateObject:
     @property
     def live_requests(self) -> List[Any]:
         """Dots of executed-and-not-rolled-back requests, in execution order."""
-        return list(self._undo_order)
+        return [req.dot for req in self._undo_order]
+
+    @property
+    def checkpoint_positions(self) -> List[int]:
+        """Trace positions currently holding a checkpoint (diagnostics)."""
+        return [position for position, _ in self._checkpoints]

@@ -200,6 +200,24 @@ class Scenario:
             self._exec_overrides.update(overrides)
         return self
 
+    def reorder(
+        self,
+        engine: str = "batched",
+        *,
+        checkpoint_interval: Optional[int] = None,
+    ) -> "Scenario":
+        """Choose the rollback/replay engine (``"stepwise"`` or ``"batched"``).
+
+        ``checkpoint_interval`` enables periodic full-state checkpoints so
+        the batched engine restores long divergent suffixes from the nearest
+        checkpoint instead of unwinding the undo log request-by-request.
+        See ``docs/PERFORMANCE.md`` for tuning guidance.
+        """
+        self._config_kwargs["reorder_engine"] = engine
+        if checkpoint_interval is not None:
+            self._config_kwargs["checkpoint_interval"] = checkpoint_interval
+        return self
+
     def message_delay(
         self, delay: float, *, jitter: Optional[float] = None
     ) -> "Scenario":

@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -56,7 +56,10 @@ class Simulator:
     """
 
     def __init__(self, *, max_events: int = 10_000_000) -> None:
-        self._queue: List[ScheduledEvent] = []
+        #: Heap of ``(time, seq, event)`` — raw tuples keep heap comparisons
+        #: in C instead of the dataclass ``__lt__`` (a hot path: every
+        #: message, timer and internal step passes through here).
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._executed = 0
@@ -76,7 +79,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """The number of non-cancelled events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(1 for _, _, event in self._queue if not event.cancelled)
 
     def schedule(
         self,
@@ -99,7 +102,7 @@ class Simulator:
             callback=callback,
             label=label,
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
     def schedule_at(
@@ -123,7 +126,7 @@ class Simulator:
         empty (the simulation is quiescent).
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             if event.time < self._now:
@@ -148,7 +151,7 @@ class Simulator:
         self._running = True
         try:
             while self._queue:
-                head = self._queue[0]
+                head = self._queue[0][2]
                 if head.cancelled:
                     heapq.heappop(self._queue)
                     continue
@@ -169,6 +172,8 @@ class Simulator:
         """Advance simulated time without executing events (for tests)."""
         if time < self._now:
             raise SimulationError("cannot move time backwards")
-        if self._queue and min(e.time for e in self._queue if not e.cancelled) < time:
+        if self._queue and min(
+            e.time for _, _, e in self._queue if not e.cancelled
+        ) < time:
             raise SimulationError("cannot skip over pending events")
         self._now = time

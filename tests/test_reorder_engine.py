@@ -1,0 +1,300 @@
+"""The checkpointed incremental reorder engine: equivalence and mechanics.
+
+The central contract of this PR: enabling checkpoints and/or the batched
+scheduler must be *observably free*. For random schedules — random
+operations, invocation times, replica assignments, clock drifts and
+protocols — a checkpointed replica and a checkpoint-free replica of the
+same engine produce identical histories (every event field, perceived
+traces included), identical final snapshots, and identical
+``rollback_count``/``execution_count`` metrics.
+
+Also covered: the batched engine's deadline mechanics, the tail/head fast
+paths of ``adjust_tentative_order``/``on_tob_deliver``, and the
+anti-entropy batch delivery path.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import BayouCluster, MODIFIED, ORIGINAL
+from repro.core.config import BayouConfig
+from repro.datatypes.counter import Counter
+from repro.datatypes.kvstore import KVStore
+from repro.datatypes.rlist import RList
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# Random schedules
+# ----------------------------------------------------------------------
+def _random_ops(rng, count):
+    ops = []
+    for _ in range(count):
+        kind = rng.randrange(4)
+        if kind == 0:
+            ops.append(RList.append(rng.choice("abcd")))
+        elif kind == 1:
+            ops.append(RList.duplicate())
+        elif kind == 2:
+            ops.append(RList.remove_last())
+        else:
+            ops.append(RList.read())
+    return ops
+
+
+def _run_random_schedule(
+    seed,
+    *,
+    protocol,
+    reorder_engine,
+    checkpoint_interval,
+    n_replicas=3,
+):
+    """One deterministic random schedule under the given engine config."""
+    rng = random.Random(seed)
+    config = BayouConfig(
+        n_replicas=n_replicas,
+        exec_delay=rng.choice([0.01, 0.1, 0.5]),
+        message_delay=1.0,
+        clock_offsets={1: rng.choice([-20.0, 0.0, 15.0])},
+        clock_rates={2: rng.choice([0.5, 1.0, 2.0])},
+        reorder_engine=reorder_engine,
+        checkpoint_interval=checkpoint_interval,
+        optimize_tail_execution=rng.random() < 0.5,
+    )
+    cluster = BayouCluster(RList(), config, protocol=protocol)
+    for index, op in enumerate(_random_ops(rng, 16)):
+        cluster.schedule_invoke(
+            rng.uniform(0.5, 20.0),
+            rng.randrange(n_replicas),
+            op,
+            strong=rng.random() < 0.25,
+        )
+    cluster.run_until_quiescent()
+    history = cluster.build_history(well_formed=False)
+    return (
+        tuple(sorted(history.events, key=lambda e: e.eid)),
+        [replica.state.snapshot() for replica in cluster.replicas],
+        [replica.rollback_count for replica in cluster.replicas],
+        [replica.execution_count for replica in cluster.replicas],
+        cluster.converged(),
+    )
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10_000),
+    protocol=st.sampled_from([ORIGINAL, MODIFIED]),
+    engine=st.sampled_from(["stepwise", "batched"]),
+    interval=st.sampled_from([1, 2, 5, 64]),
+)
+def test_checkpointing_is_observably_free(seed, protocol, engine, interval):
+    """Random schedules: checkpointed ≡ checkpoint-free, field for field."""
+    plain = _run_random_schedule(
+        seed, protocol=protocol, reorder_engine=engine, checkpoint_interval=None
+    )
+    checkpointed = _run_random_schedule(
+        seed, protocol=protocol, reorder_engine=engine, checkpoint_interval=interval
+    )
+    assert plain == checkpointed
+    assert plain[4], "random schedule did not converge"
+
+
+@SLOW
+@given(seed=st.integers(0, 10_000), protocol=st.sampled_from([ORIGINAL, MODIFIED]))
+def test_engines_agree_on_convergent_state(seed, protocol):
+    """Across engines, timings may differ but the replicated state, the
+    committed order and convergence must not."""
+    stepwise = _run_random_schedule(
+        seed, protocol=protocol, reorder_engine="stepwise", checkpoint_interval=None
+    )
+    batched = _run_random_schedule(
+        seed, protocol=protocol, reorder_engine="batched", checkpoint_interval=16
+    )
+    assert stepwise[1] == batched[1]  # snapshots
+    assert stepwise[4] and batched[4]  # both converged
+    # Tentative (weak) responses may legitimately differ: the batched
+    # engine executes a backlog at its deadline, so a weak operation can
+    # observe a different — equally FEC-valid — tentative prefix. The
+    # convergent state above is the cross-engine contract.
+
+
+# ----------------------------------------------------------------------
+# Batched engine mechanics
+# ----------------------------------------------------------------------
+def _cluster(**config_kwargs):
+    defaults = dict(n_replicas=2, exec_delay=0.1, message_delay=1.0)
+    defaults.update(config_kwargs)
+    return BayouCluster(Counter(), BayouConfig(**defaults))
+
+
+def test_batched_engine_single_event_per_backlog():
+    """A backlog of k requests drains in one simulation event, after the
+    same k × exec_delay the stepwise engine would take."""
+    cluster = _cluster(reorder_engine="batched")
+    for index in range(5):
+        cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    cluster.run(until=1.0)
+    replica = cluster.replicas[0]
+    assert replica.backlog == 5
+    # Nothing executes until the deadline...
+    cluster.run(until=1.0 + 5 * 0.1 - 0.01)
+    assert replica.execution_count == 0
+    # ...then everything does, at once.
+    cluster.run(until=1.0 + 5 * 0.1 + 0.001)
+    assert replica.execution_count == 5
+    assert replica.backlog == 0
+
+
+def test_batched_engine_extends_deadline_for_new_work():
+    cluster = _cluster(reorder_engine="batched")
+    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    cluster.schedule_invoke(1.05, 0, Counter.increment(1))
+    cluster.run(until=1.11)  # first deadline (1.1) passed, but extended
+    replica = cluster.replicas[0]
+    assert replica.execution_count == 0
+    cluster.run(until=1.26)  # 1.05 + 2 × 0.1, plus slack
+    assert replica.execution_count == 2
+
+
+def test_batched_quiescence_time_matches_stepwise():
+    def quiesce(engine):
+        cluster = _cluster(reorder_engine=engine)
+        for index in range(7):
+            cluster.schedule_invoke(1.0 + 0.01 * index, 0, Counter.increment(1))
+        return cluster.run_until_quiescent()
+
+    assert quiesce("batched") == pytest.approx(quiesce("stepwise"))
+
+
+def test_checkpointed_rollback_storm_equivalence():
+    """The Figure-1 reorder with a long suffix: counts and state identical
+    with and without checkpoints, and the restore path actually runs."""
+
+    def run(interval):
+        cluster = _cluster(
+            reorder_engine="batched",
+            checkpoint_interval=interval,
+            clock_offsets={1: -100.0},
+            exec_delay=0.01,
+        )
+        for index in range(30):
+            cluster.schedule_invoke(1.0 + 0.1 * index, 0, Counter.increment(1))
+        cluster.schedule_invoke(4.0, 1, Counter.increment(1))
+        cluster.run_until_quiescent()
+        replica = cluster.replicas[0]
+        return (
+            replica.rollback_count,
+            replica.state.snapshot(),
+            replica.state.checkpoint_restores,
+            cluster.converged(),
+        )
+
+    plain = run(None)
+    checkpointed = run(8)
+    assert plain[0] == checkpointed[0] > 0
+    assert plain[1] == checkpointed[1]
+    assert plain[2] == 0 and checkpointed[2] >= 1
+    assert plain[3] and checkpointed[3]
+
+
+# ----------------------------------------------------------------------
+# Fast paths stay on the seed semantics
+# ----------------------------------------------------------------------
+def test_tob_head_commit_keeps_schedule_intact():
+    """Committing the tentative head must not queue any rollbacks."""
+    cluster = _cluster()
+    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    cluster.schedule_invoke(1.2, 0, Counter.increment(2))
+    cluster.run_until_quiescent()
+    for replica in cluster.replicas:
+        assert replica.rollback_count == 0
+    assert cluster.converged()
+
+
+def test_out_of_order_rb_delivery_still_reorders():
+    """The non-tail insertion path (drifting clock) still rolls back."""
+    cluster = _cluster(clock_offsets={1: -50.0}, exec_delay=0.01)
+    cluster.schedule_invoke(1.0, 0, Counter.increment(1))
+    cluster.schedule_invoke(1.5, 1, Counter.increment(2))
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+    assert cluster.replicas[0].rollback_count >= 1
+
+
+def test_modified_protocol_tail_keep_not_rescheduled():
+    """Footnote 8 + tail fast path: the kept execution is not re-queued."""
+    cluster = BayouCluster(
+        Counter(),
+        BayouConfig(n_replicas=1, exec_delay=0.1, optimize_tail_execution=True),
+        protocol=MODIFIED,
+    )
+    cluster.invoke(0, Counter.increment(1))
+    cluster.run_until_quiescent()
+    replica = cluster.replicas[0]
+    assert replica.execution_count == 1  # executed once, never re-executed
+    assert replica.rollback_count == 0
+
+
+# ----------------------------------------------------------------------
+# Anti-entropy batch delivery
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["stepwise", "batched"])
+def test_anti_entropy_batch_delivery_matches_rb(engine):
+    """Anti-entropy (batched suffix delivery) converges to the same state
+    reliable broadcast produces, under both reorder engines."""
+
+    def run(dissemination):
+        cluster = BayouCluster(
+            KVStore(),
+            BayouConfig(
+                n_replicas=3,
+                exec_delay=0.01,
+                message_delay=0.5,
+                dissemination=dissemination,
+                ae_sync_interval=1.0,
+                reorder_engine=engine,
+                checkpoint_interval=4,
+            ),
+        )
+        for index in range(9):
+            cluster.schedule_invoke(
+                1.0 + index * 0.4, index % 3, KVStore.put(f"k{index % 4}", index)
+            )
+        cluster.run_until_quiescent()
+        assert cluster.converged()
+        return cluster.replicas[0].state.snapshot()
+
+    assert run("rb") == run("anti_entropy")
+
+
+def test_anti_entropy_batch_suffix_single_reorder():
+    """A healed partition ships the missing suffix in one sync and the
+    receiving replica inserts it with one schedule recompute."""
+    cluster = BayouCluster(
+        Counter(),
+        BayouConfig(
+            n_replicas=2,
+            exec_delay=0.01,
+            message_delay=0.5,
+            dissemination="anti_entropy",
+            ae_sync_interval=1.0,
+            reorder_engine="batched",
+        ),
+        partitions=None,
+    )
+    cluster.partitions.split(0.0, [[0], [1]])
+    for index in range(6):
+        cluster.schedule_invoke(1.0 + index * 0.2, 0, Counter.increment(1))
+    cluster.partitions.heal(10.0)
+    cluster.run_until_quiescent()
+    assert cluster.converged()
+    assert cluster.replicas[1].state.snapshot() == {"counter:value": 6}

@@ -351,3 +351,34 @@ class TestConfigValidation:
 
     def test_valid_overrides_accepted(self):
         BayouConfig(exec_delay_overrides={0: 0.0, 2: 5.0}).validate()
+
+    def test_unknown_reorder_engine_rejected(self):
+        with pytest.raises(ValueError, match="reorder_engine"):
+            BayouConfig(reorder_engine="eager").validate()
+
+    def test_non_positive_checkpoint_interval_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            BayouConfig(checkpoint_interval=0).validate()
+
+    def test_reorder_knobs_accepted(self):
+        BayouConfig(reorder_engine="batched", checkpoint_interval=64).validate()
+
+
+class TestScenarioReorderKnob:
+    def test_reorder_threads_through_to_config_and_replicas(self):
+        from repro.datatypes.counter import Counter
+
+        result = (
+            Scenario(Counter())
+            .replicas(2)
+            .reorder("batched", checkpoint_interval=16)
+            .invoke(1.0, 0, Counter.increment(3), label="inc")
+            .run()
+        )
+        config = result.cluster.config
+        assert config.reorder_engine == "batched"
+        assert config.checkpoint_interval == 16
+        assert result.responses["inc"] == 3
+        assert result.converged
+        for replica in result.cluster.replicas:
+            assert replica.state.checkpoint_interval == 16

@@ -123,3 +123,122 @@ def test_remove_then_rollback_restores_binding():
     state.execute(remove)
     state.rollback(remove)
     assert state.execute(make_req(3, KVStore.get("k"))) == "v"
+
+
+# ----------------------------------------------------------------------
+# RollbackError diagnostics (regression: these paths were untested)
+# ----------------------------------------------------------------------
+def test_unknown_rollback_error_names_the_dot():
+    state = StateObject(Counter())
+    state.execute(make_req(1, Counter.increment(1)))
+    with pytest.raises(RollbackError) as excinfo:
+        state.rollback(make_req(9, Counter.increment(1)))
+    message = str(excinfo.value)
+    assert "(0, 9)" in message          # the offending dot
+    assert "1 request(s)" in message    # the live log position/size
+
+
+def test_out_of_order_rollback_error_names_dot_and_position():
+    state = StateObject(Counter())
+    requests = [make_req(no, Counter.increment(1)) for no in (1, 2, 3)]
+    for request in requests:
+        state.execute(request)
+    with pytest.raises(RollbackError) as excinfo:
+        state.rollback(requests[0])
+    message = str(excinfo.value)
+    assert "(0, 1)" in message        # the offending dot
+    assert "position 0 of 3" in message
+    assert "(0, 3)" in message        # the expected tail request
+    # The failed rollback must not have touched anything.
+    assert state.live_requests == [(0, 1), (0, 2), (0, 3)]
+    assert state.execute(make_req(4, Counter.read())) == 3
+
+
+def test_rollback_on_empty_log_is_rejected():
+    state = StateObject(Counter())
+    req = make_req(1, Counter.increment(1))
+    state.execute(req)
+    state.rollback(req)
+    with pytest.raises(RollbackError):
+        state.rollback(req)
+
+
+def test_revert_to_out_of_range_rejected():
+    state = StateObject(Counter())
+    state.execute(make_req(1, Counter.increment(1)))
+    with pytest.raises(RollbackError):
+        state.revert_to(2)
+    with pytest.raises(RollbackError):
+        state.revert_to(-1)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def test_checkpoint_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        StateObject(Counter(), checkpoint_interval=0)
+
+
+def test_checkpoints_taken_every_interval():
+    state = StateObject(Counter(), checkpoint_interval=2)
+    for no in range(1, 6):
+        state.execute(make_req(no, Counter.increment(1)))
+    assert state.checkpoint_positions == [0, 2, 4]
+
+
+def test_revert_to_uses_nearest_checkpoint():
+    state = StateObject(RList(), checkpoint_interval=2)
+    for no, letter in enumerate("abcdef", start=1):
+        state.execute(make_req(no, RList.append(letter)))
+    reverted = state.revert_to(5)  # checkpoint at 4 + replay of 1 beats 1 undo
+    assert reverted == 1
+    assert state.undo_unwinds == 1  # equal cost: the undo tail wins ties
+    reverted = state.revert_to(1)  # checkpoint at 0 + replay of 1 beats 4 undos
+    assert reverted == 4
+    assert state.checkpoint_restores == 1
+    reference = StateObject(RList())
+    reference.execute(make_req(1, RList.append("a")))
+    assert state.snapshot() == reference.snapshot()
+    assert state.live_requests == [(0, 1)]
+
+
+def test_revert_to_without_checkpoints_unwinds_undo_log():
+    state = StateObject(RList())
+    requests = [make_req(no, RList.append(c)) for no, c in enumerate("abcd", 1)]
+    for request in requests:
+        state.execute(request)
+    assert state.revert_to(1) == 3
+    assert state.checkpoint_restores == 0
+    assert state.undo_unwinds == 1
+    assert state.snapshot() == {"list:items": ("a",)}
+
+
+def test_rollback_below_checkpoint_invalidates_it():
+    state = StateObject(Counter(), checkpoint_interval=2)
+    requests = [make_req(no, Counter.increment(1)) for no in (1, 2, 3)]
+    for request in requests:
+        state.execute(request)
+    assert state.checkpoint_positions == [0, 2]
+    state.rollback(requests[2])
+    state.rollback(requests[1])
+    assert state.checkpoint_positions == [0]  # position-2 snapshot is stale
+
+
+def test_checkpoint_restore_then_reexecute_matches_plain_replay():
+    """After a checkpoint restore, fresh executions behave identically to a
+    checkpoint-free object replaying the same sequence."""
+    checkpointed = StateObject(KVStore(), checkpoint_interval=3)
+    plain = StateObject(KVStore())
+    script = [
+        KVStore.put("a", 1), KVStore.put("b", 2), KVStore.remove("a"),
+        KVStore.put("c", 3), KVStore.put("b", 9),
+    ]
+    requests = [make_req(no, op) for no, op in enumerate(script, start=1)]
+    for state in (checkpointed, plain):
+        for request in requests:
+            state.execute(request)
+        state.revert_to(2)
+        state.execute(make_req(10, KVStore.put("z", 42)))
+    assert checkpointed.snapshot() == plain.snapshot()
+    assert checkpointed.live_requests == plain.live_requests
