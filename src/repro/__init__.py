@@ -54,6 +54,7 @@ Impossibility (Theorem 1)::
 
 from repro.core.cluster import BayouCluster, MODIFIED, ORIGINAL
 from repro.core.config import BayouConfig
+from repro.core.durability import DurableStore, InMemoryStore, JsonLinesStore
 from repro.core.modified_replica import ModifiedBayouReplica
 from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
@@ -73,10 +74,12 @@ from repro.datatypes import (
 from repro.errors import (
     DivergedOrderError,
     PendingResponseError,
+    ReplicaUnavailableError,
     ReproError,
     SessionProtocolError,
     UnknownOperationError,
 )
+from repro.net.faults import CrashSchedule
 from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
@@ -91,11 +94,15 @@ __all__ = [
     "BayouReplica",
     "ClientSession",
     "Counter",
+    "CrashSchedule",
     "DataType",
     "DivergedOrderError",
     "Dot",
+    "DurableStore",
     "History",
     "HistoryEvent",
+    "InMemoryStore",
+    "JsonLinesStore",
     "KVStore",
     "LiveRun",
     "MODIFIED",
@@ -107,6 +114,7 @@ __all__ = [
     "PENDING",
     "PendingResponseError",
     "Register",
+    "ReplicaUnavailableError",
     "Req",
     "ReproError",
     "RList",

@@ -8,6 +8,11 @@ from repro.analysis.experiments.progress import (
     run_clock_slowdown,
     run_slow_replica,
 )
+from repro.analysis.experiments.recovery import (
+    run_recovery,
+    run_recovery_case,
+    run_recovery_omega,
+)
 from repro.analysis.experiments.reorder import (
     run_divergent_suffix,
     run_drifting_clock,
@@ -22,6 +27,9 @@ __all__ = [
     "run_figure1",
     "run_figure2",
     "run_matrix",
+    "run_recovery",
+    "run_recovery_case",
+    "run_recovery_omega",
     "run_session_guarantees",
     "run_slow_replica",
     "run_theorem1_live",

@@ -41,10 +41,13 @@ origins in the order the pushing peer enumerated them.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.net.node import RoutingNode
 from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core → broadcast)
+    from repro.core.durability import DurableStore
 
 _TAG = "antientropy"
 
@@ -70,6 +73,7 @@ class AntiEntropy:
         sync_interval: float = 2.0,
         deliver_own: bool = False,
         trace: Optional[TraceLog] = None,
+        store: Optional["DurableStore"] = None,
         tag: str = _TAG,
     ) -> None:
         self.node = node
@@ -78,6 +82,7 @@ class AntiEntropy:
         self._deliver_own = deliver_own
         self.sync_interval = sync_interval
         self.trace = trace
+        self.store = store
         self.tag = tag
         #: origin -> {event_no: payload} for everything we know.
         self._log: Dict[int, Dict[int, Any]] = {}
@@ -89,6 +94,11 @@ class AntiEntropy:
         self._stopped = False
         self._timer_armed = False
         node.register_component(tag, self._on_message)
+        node.register_crash_hooks(on_recover=self._on_node_recover)
+        if store is not None and len(store.log(f"{tag}.log")):
+            # A pre-existing durable log (e.g. a JSON-lines directory from a
+            # previous operating-system process) seeds the endpoint.
+            self._reload()
 
     # ------------------------------------------------------------------
     # RB-compatible API
@@ -132,6 +142,11 @@ class AntiEntropy:
         if number in log:
             return []
         log[number] = payload
+        if self.store is not None:
+            # Write-ahead, non-contiguous entries included: the version
+            # vector is recomputed from the log at recovery, so everything
+            # absorbed must be reloadable.
+            self.store.log(f"{self.tag}.log").append((key, payload))
         # Advance the contiguous frontier, collecting in per-origin order.
         new_frontier = self._version_vector.get(origin, 0)
         ready: List[Tuple[Hashable, Any]] = []
@@ -165,7 +180,60 @@ class AntiEntropy:
         if self._timer_armed or self._stopped:
             return
         self._timer_armed = True
-        self.node.set_timer(self.sync_interval, self._sync, label="ae.sync")
+        # ``resurrect=True`` keeps the ``_timer_armed`` flag truthful across
+        # a crash: a sync tick coming due while the node is down is
+        # *suppressed* (not cancelled) and re-armed at recovery, so the
+        # one-timer-in-flight invariant this flag encodes still holds — the
+        # pre-fix behaviour left the flag stuck True with no timer behind
+        # it, and a recovered replica never synced again.
+        self.node.set_timer(
+            self.sync_interval, self._sync, label="ae.sync", resurrect=True
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _reload(self) -> None:
+        """Rebuild the log and version vector from stable storage."""
+        self._log = {}
+        self._version_vector = {}
+        for key, payload in self.store.log(f"{self.tag}.log").records():
+            origin, number = key
+            self._log.setdefault(origin, {})[number] = payload
+        for origin, numbers in self._log.items():
+            frontier = 0
+            while frontier + 1 in numbers:
+                frontier += 1
+            self._version_vector[origin] = frontier
+
+    def _on_node_recover(self) -> None:
+        """Reboot: reload durable state, drop peer knowledge, resume pulls.
+
+        Peer vector caches are *volatile* by design — while we were down,
+        peers optimistically recorded pushes we never received, and we may
+        have stale knowledge of them. Forgetting both sides' caches makes
+        the recovered node pull every peer again (initial-discovery rule in
+        :meth:`_has_unsynced_state`), which is exactly the re-announce +
+        catch-up the write log in stable storage exists for.
+        """
+        if self.store is not None:
+            self._reload()
+        self._peer_vector_cache = {}
+        # Re-announce: one immediate pull to *every* peer. This both
+        # advertises our true (reloaded) vector — correcting any optimistic
+        # cache a peer built from pushes we never received — and triggers
+        # push-backs of everything we missed, even from peers the
+        # round-robin loop would only reach several intervals from now.
+        if not self._stopped:
+            for peer in range(self.node.network.n_processes):
+                if peer != self.node.pid:
+                    self.node.send_component(
+                        peer, self.tag, ("pull", dict(self._version_vector))
+                    )
+        if not self._timer_armed:
+            # A suppressed sync tick resurrects itself; if the loop was idle
+            # at crash time, restart it so downtime gaps keep being pulled.
+            self._arm_timer()
 
     def _sync(self) -> None:
         self._timer_armed = False

@@ -49,15 +49,27 @@ class OmegaFailureDetector:
         self.trace = trace
         self.tag = tag
         self._last_heard: Dict[int, float] = {
-            pid: 0.0 for pid in range(node.network.n_processes)
+            pid: node.sim.now for pid in range(node.network.n_processes)
         }
         self._stopped = False
+        self._tick_timer = None
         self._current_leader = self._compute_leader()
         node.register_component(tag, self._on_heartbeat)
+        node.register_crash_hooks(on_recover=self._on_node_recover)
 
     def start(self) -> None:
-        """Begin emitting heartbeats and checking suspicions."""
+        """Begin emitting heartbeats and checking suspicions.
+
+        The suspicion window opens *now*: every peer is credited with a
+        fresh ``_last_heard`` so a detector started late (simulated time
+        already past ``timeout``) gives everyone one timeout's grace
+        instead of instantly suspecting the whole cluster and electing
+        itself leader until the first heartbeat round straightens it out.
+        """
         self._stopped = False
+        now = self.node.sim.now
+        for pid in self._last_heard:
+            self._last_heard[pid] = now
         self._tick()
 
     def stop(self) -> None:
@@ -66,11 +78,37 @@ class OmegaFailureDetector:
 
     def _tick(self) -> None:
         if self._stopped or self.node.crashed:
+            # Crashed: leave no timer behind — recovery restarts the loop
+            # through the node's on_recover hook (pre-fix, this early
+            # return silently killed heartbeats forever, so a recovered
+            # node stayed suspected and its own leader view went stale).
             return
         self.node.broadcast_component(self.tag, None)
         self._last_heard[self.node.pid] = self.node.sim.now
         self._recheck_leader()
-        self.node.set_timer(self.heartbeat_interval, self._tick, label="omega.tick")
+        self._tick_timer = self.node.set_timer(
+            self.heartbeat_interval, self._tick, label="omega.tick"
+        )
+
+    def _on_node_recover(self) -> None:
+        """Resume heartbeats after a crash–recovery, with a fresh window.
+
+        ``_last_heard`` is volatile, so every peer is re-credited from the
+        recovery instant (the same grace rule :meth:`start` applies). The
+        heartbeat loop restarts one simulation step later: recovery hooks
+        of the other components on this node (e.g. a Paxos engine reloading
+        its acceptor state) may still be pending, and a leader-change
+        callback must not fire into half-rebuilt state.
+        """
+        if self._stopped:
+            return
+        now = self.node.sim.now
+        for pid in self._last_heard:
+            self._last_heard[pid] = now
+        if self._tick_timer is not None and self._tick_timer.pending:
+            self._tick_timer.cancel()
+        self._tick_timer = None
+        self.node.set_timer(0.0, self._tick, label="omega.restart")
 
     def _on_heartbeat(self, sender: int, _payload: None) -> None:
         self._last_heard[sender] = self.node.sim.now

@@ -31,12 +31,15 @@ Key design points
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.broadcast.failure_detector import OmegaFailureDetector
 from repro.broadcast.total_order import DeliverFn, TotalOrderBroadcast
 from repro.net.node import RoutingNode
 from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core → broadcast)
+    from repro.core.durability import DurableStore
 
 _TAG = "paxos"
 
@@ -76,6 +79,7 @@ class PaxosTOB(TotalOrderBroadcast):
         *,
         retry_interval: float = 15.0,
         trace: Optional[TraceLog] = None,
+        store: Optional["DurableStore"] = None,
         tag: str = _TAG,
     ) -> None:
         self.node = node
@@ -83,6 +87,7 @@ class PaxosTOB(TotalOrderBroadcast):
         self.omega = omega
         self.retry_interval = retry_interval
         self.trace = trace
+        self.store = store
         self.tag = tag
         self.n = node.network.n_processes
         self.majority = self.n // 2 + 1
@@ -118,9 +123,15 @@ class PaxosTOB(TotalOrderBroadcast):
 
         self._stopped = False
         self._drive_armed = False
+        self._drive_timer = None
 
         node.register_component(tag, self._on_message)
+        node.register_crash_hooks(on_recover=self._on_node_recover)
         omega.on_leader_change = self._on_leader_change
+        if store is not None and (
+            store.get(f"{tag}.meta") is not None or len(store.log(f"{tag}.decided"))
+        ):
+            self._reload()
 
     # ------------------------------------------------------------------
     # Public API
@@ -162,6 +173,7 @@ class PaxosTOB(TotalOrderBroadcast):
         self._proposals = {}
         round_number = self._max_round_seen + 1
         self._max_round_seen = round_number
+        self._persist_meta()  # a recovered leader must never reuse a ballot
         self._ballot = (round_number, self.node.pid)
         self._phase1_first_instance = self._next_deliver
         self.node.broadcast_component(
@@ -195,6 +207,33 @@ class PaxosTOB(TotalOrderBroadcast):
             raise ValueError(f"unknown paxos message {kind!r}")
         handler(sender, message[1:])
 
+    # --- stable storage ------------------------------------------------
+    def _persist_meta(self) -> None:
+        if self.store is not None:
+            self.store.put(
+                f"{self.tag}.meta",
+                {
+                    "max_round_seen": self._max_round_seen,
+                    "baseline_promise": self._baseline_promise,
+                },
+            )
+
+    def _persist_acceptor(self, instances) -> None:
+        """Durably record the touched acceptor instances (the classic
+        Paxos rule: a promise or acceptance must hit stable storage before
+        the reply leaves, or a recovered acceptor could break chosen
+        values). Each write is an O(1)-per-instance append; reload applies
+        the log last-write-wins."""
+        if self.store is None:
+            return
+        log = self.store.log(f"{self.tag}.acc")
+        for instance in instances:
+            state = self._acceptor[instance]
+            log.append(
+                (instance, state.promised, state.accepted_ballot, state.accepted_value)
+            )
+        self._persist_meta()
+
     # --- acceptor ------------------------------------------------------
     def _handle_p1a(self, sender: int, args: Tuple) -> None:
         ballot, first_instance = args
@@ -213,13 +252,16 @@ class PaxosTOB(TotalOrderBroadcast):
             )
             return
         accepted: Dict[int, Tuple[Ballot, Tuple[Hashable, Any]]] = {}
+        touched = []
         for instance, state in self._acceptor.items():
             if instance < first_instance:
                 continue
             state.promised = ballot
+            touched.append(instance)
             if state.accepted_ballot is not None:
                 accepted[instance] = (state.accepted_ballot, state.accepted_value)
         self._baseline_promise = ballot
+        self._persist_acceptor(touched)
         self.node.send_component(sender, self.tag, ("p1b", ballot, accepted))
 
     def _acceptor_state(self, instance: int) -> AcceptorInstance:
@@ -237,6 +279,7 @@ class PaxosTOB(TotalOrderBroadcast):
             state.promised = ballot
             state.accepted_ballot = ballot
             state.accepted_value = value
+            self._persist_acceptor([instance])
             self.node.send_component(sender, self.tag, ("p2b", ballot, instance))
         else:
             self.node.send_component(
@@ -350,18 +393,30 @@ class PaxosTOB(TotalOrderBroadcast):
             )
 
     # --- learner -------------------------------------------------------
+    def _record_decided(self, instance: int, value: Tuple[Hashable, Any]) -> None:
+        """Learn a decision: in memory, durably, and off the pending queue."""
+        self._decided[instance] = value
+        if self.store is not None:
+            self.store.log(f"{self.tag}.decided").append((instance, value))
+        self._pending.pop(value[0], None)
+
     def _handle_decide(self, sender: int, args: Tuple) -> None:
         instance, value = args
         if instance in self._decided:
             return
-        self._decided[instance] = value
-        key = value[0]
-        self._pending.pop(key, None)
+        self._record_decided(instance, value)
         self._deliver_ready()
         self._assign_pending()
         self._ensure_driving()
 
-    def _deliver_ready(self) -> None:
+    def _deliver_ready(self, *, notify: bool = True) -> None:
+        """Advance the delivery frontier over contiguous decided instances.
+
+        ``notify=False`` rebuilds the learner bookkeeping without invoking
+        the application callback or tracing — the recovery reload path,
+        where everything contiguous was already consumed (and durably
+        committed) by the hosting replica before the crash.
+        """
         while self._next_deliver in self._decided:
             key, payload = self._decided[self._next_deliver]
             instance = self._next_deliver
@@ -372,6 +427,8 @@ class PaxosTOB(TotalOrderBroadcast):
                 continue  # duplicate decision of a re-proposed key
             self._delivered_keys.add(key)
             self._delivered.append(key)
+            if not notify:
+                continue
             if self.trace is not None:
                 self.trace.record(
                     self.node.sim.now,
@@ -408,8 +465,7 @@ class PaxosTOB(TotalOrderBroadcast):
         (repairs,) = args
         for instance, value in repairs.items():
             if instance not in self._decided:
-                self._decided[instance] = value
-                self._pending.pop(value[0], None)
+                self._record_decided(instance, value)
         self._deliver_ready()
         self._ensure_driving()
 
@@ -440,10 +496,13 @@ class PaxosTOB(TotalOrderBroadcast):
         if self._drive_armed or self._stopped or not self._has_work():
             return
         self._drive_armed = True
-        self.node.set_timer(self.retry_interval, self._drive, label="paxos.drive")
+        self._drive_timer = self.node.set_timer(
+            self.retry_interval, self._drive, label="paxos.drive"
+        )
 
     def _drive(self) -> None:
         self._drive_armed = False
+        self._drive_timer = None
         if self._stopped or not self._has_work():
             return
         if self.omega.leader() == self.node.pid and not self._is_leader:
@@ -466,4 +525,80 @@ class PaxosTOB(TotalOrderBroadcast):
             self._forward_pending()
         # Anti-entropy: ask peers for decided instances we might be missing.
         self.node.broadcast_component(self.tag, ("status", self._next_deliver))
+        self._ensure_driving()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _reload(self) -> None:
+        """Reload the durable surface: acceptor state, meta, decided log.
+
+        Learner bookkeeping (``_next_deliver``/``_delivered``) is rebuilt by
+        walking the decided log from instance 0 *without* re-delivering —
+        everything contiguous was delivered (and consumed by the hosting
+        replica, which persists its own commit log) before the crash.
+        """
+        meta = self.store.get(f"{self.tag}.meta") or {}
+        self._max_round_seen = meta.get("max_round_seen", 0)
+        self._baseline_promise = tuple(meta.get("baseline_promise", (-1, -1)))
+        self._acceptor = {}
+        # Last write per instance wins (the log records every mutation).
+        for record in self.store.log(f"{self.tag}.acc").records():
+            instance, promised, accepted_ballot, accepted_value = record
+            self._acceptor[instance] = AcceptorInstance(
+                promised=tuple(promised),
+                accepted_ballot=(
+                    None if accepted_ballot is None else tuple(accepted_ballot)
+                ),
+                accepted_value=accepted_value,
+            )
+        self._decided = {
+            instance: value
+            for instance, value in self.store.log(f"{self.tag}.decided").records()
+        }
+        self._next_deliver = 0
+        self._delivered = []
+        self._delivered_keys = set()
+        self._deliver_ready(notify=False)
+        self._known_keys = {key for key, _ in self._decided.values()}
+
+    def _on_node_recover(self) -> None:
+        """Reboot: reload stable state, drop the rest, catch up, re-lead.
+
+        Volatile state — leadership, phase-1 bookkeeping, in-flight
+        proposals, pending submissions — is discarded (the hosting replica
+        re-announces its uncommitted requests after recovery). The node
+        immediately asks every peer for decided instances it missed, and
+        one simulation step later re-asserts leadership if Ω still (or
+        again) trusts it.
+        """
+        if self._drive_timer is not None and self._drive_timer.pending:
+            self._drive_timer.cancel()
+        self._drive_timer = None
+        self._drive_armed = False
+        self._is_leader = False
+        self._ballot = None
+        self._phase1_acks = {}
+        self._phase1_from = set()
+        self._phase1_complete = False
+        self._proposals = {}
+        self._next_instance = 0
+        if self.store is not None:
+            # Pending submissions are volatile: the hosting replica re-casts
+            # its uncommitted requests from its own write-ahead log. Without
+            # a store the in-memory state survives (a transient pause, the
+            # seed semantics), so pending work is kept.
+            self._pending = {}
+            self._reload()
+        if self._stopped:
+            return
+        # Catch-up: learn every instance decided during the downtime.
+        self.node.broadcast_component(self.tag, ("status", self._next_deliver))
+        self.node.set_timer(0.0, self._post_recovery_kick, label="paxos.rekick")
+
+    def _post_recovery_kick(self) -> None:
+        if self._stopped or self.node.crashed:
+            return
+        if self.omega.leader() == self.node.pid and not self._is_leader:
+            self._become_leader()
         self._ensure_driving()

@@ -68,6 +68,12 @@ def _run_sessions() -> None:
     sessions.main()
 
 
+def _run_recovery() -> None:
+    from repro.analysis.experiments import recovery
+
+    recovery.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -78,6 +84,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "performance": ("E8: latency/throughput envelope", _run_performance),
     "sessions": ("E9: session-guarantee cost of Algorithm 2", _run_sessions),
     "reorder": ("E10: checkpointed reorder engine at scale", _run_reorder),
+    "recovery": ("E11: crash-recovery — durable state, catch-up, convergence", _run_recovery),
 }
 
 

@@ -18,6 +18,8 @@ Typical experiment shape::
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -27,14 +29,15 @@ from repro.broadcast.anti_entropy import AntiEntropy
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.sequencer import SequencerTOB
 from repro.core.config import BayouConfig
+from repro.core.durability import DurableStore, open_store
 from repro.core.modified_replica import ModifiedBayouReplica
 from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
 from repro.core.session import OpFuture, ResponseCallback, Session
 from repro.datatypes.base import DataType, Operation
-from repro.errors import DivergedOrderError
+from repro.errors import DivergedOrderError, ReplicaUnavailableError
 from repro.framework.history import PENDING, STRONG, WEAK, History, HistoryEvent
-from repro.net.faults import MessageFilter
+from repro.net.faults import CrashSchedule, MessageFilter
 from repro.net.network import FixedLatency, Network, UniformLatency
 from repro.net.node import RoutingNode
 from repro.net.partition import PartitionSchedule
@@ -79,6 +82,7 @@ class BayouCluster:
         protocol: str = ORIGINAL,
         partitions: Optional[PartitionSchedule] = None,
         filters: Optional[MessageFilter] = None,
+        crashes: Optional[CrashSchedule] = None,
     ) -> None:
         self.config = config or BayouConfig()
         self.config.validate()
@@ -113,21 +117,42 @@ class BayouCluster:
         self.clocks: List[DriftingClock] = []
         self.replicas: List[BayouReplica] = []
         self.omegas: List[OmegaFailureDetector] = []
+        #: Per-replica stable storage (None entries when durability="none").
+        self.stores: List[Optional[DurableStore]] = []
+        self.crashes = crashes
         self._staged: Dict[Dot, _StagedEvent] = {}
         self._futures: Dict[Dot, OpFuture] = {}
         self._invocation_seq = 0
         self._build()
+        if crashes is not None:
+            crashes.arm(self.sim, {node.pid: node for node in self.nodes})
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _make_store(self, pid: int) -> Optional[DurableStore]:
+        """One replica's stable storage, per the configured backend."""
+        if self.config.durability == "jsonl":
+            if self._durability_root is None:
+                self._durability_root = (
+                    self.config.durability_dir
+                    or tempfile.mkdtemp(prefix="repro-durable-")
+                )
+            return open_store(
+                "jsonl",
+                directory=os.path.join(self._durability_root, f"node{pid}"),
+            )
+        return open_store(self.config.durability)
+
     def _build(self) -> None:
         config = self.config
         replica_class = (
             ModifiedBayouReplica if self.protocol == MODIFIED else BayouReplica
         )
+        self._durability_root: Optional[str] = None
         for pid in range(config.n_replicas):
             node = RoutingNode(self.sim, self.network, pid, name=f"R{pid}")
+            store = self._make_store(pid)
             clock = DriftingClock(
                 self.sim,
                 offset=config.clock_offsets.get(pid, 0.0),
@@ -140,6 +165,7 @@ class BayouCluster:
                 config,
                 trace=self.trace,
                 responder=self._make_responder(pid),
+                store=store,
             )
             if config.dissemination == "anti_entropy":
                 replica.rb = AntiEntropy(
@@ -148,10 +174,11 @@ class BayouCluster:
                     deliver_batch=replica.on_rb_deliver_batch,
                     sync_interval=config.ae_sync_interval,
                     trace=self.trace,
+                    store=store,
                 )
             else:
                 replica.rb = ReliableBroadcast(
-                    node, replica.on_rb_deliver, trace=self.trace
+                    node, replica.on_rb_deliver, trace=self.trace, store=store
                 )
             if config.tob_engine == "sequencer":
                 replica.tob = SequencerTOB(
@@ -159,6 +186,7 @@ class BayouCluster:
                     replica.on_tob_deliver,
                     sequencer_pid=config.sequencer_pid,
                     trace=self.trace,
+                    store=store,
                 )
             else:
                 omega = OmegaFailureDetector(
@@ -174,12 +202,27 @@ class BayouCluster:
                     omega,
                     retry_interval=config.paxos_retry_interval,
                     trace=self.trace,
+                    store=store,
                 )
                 self.sim.schedule(0.0, omega.start, label=f"omega start {pid}")
             replica.commit_listener = self._on_commit
+            # Registered last, so it runs after every component on this node
+            # rebuilt its own state: the replica's uncommitted requests are
+            # re-advertised only once the endpoints can carry them.
+            node.register_crash_hooks(
+                on_recover=lambda r=replica: r.reannounce()
+            )
+            if replica.restored_from_store:
+                # Rebuilt over a previous incarnation's disk: re-advertise
+                # uncommitted requests once the simulation starts (the
+                # endpoints above are wired by then).
+                self.sim.schedule(
+                    0.0, replica.reannounce, label=f"reannounce R{pid}"
+                )
             self.nodes.append(node)
             self.clocks.append(clock)
             self.replicas.append(replica)
+            self.stores.append(store)
 
     def _make_responder(self, pid: int):
         def responder(
@@ -224,6 +267,11 @@ class BayouCluster:
         ``invoke()``.
         """
         replica = self.replicas[pid]
+        if replica.node.crashed:
+            raise ReplicaUnavailableError(
+                f"replica {pid} is crashed at t={self.sim.now:g}; a crashed "
+                "replica ceases all communication, so clients cannot reach it"
+            )
         invoke_time = self.sim.now
         # Stage the history record *before* invoking: the modified protocol
         # responds to weak operations synchronously inside invoke().
@@ -293,6 +341,18 @@ class BayouCluster:
         )
 
     # ------------------------------------------------------------------
+    # Crash control
+    # ------------------------------------------------------------------
+    def crash_replica(self, pid: int, mode: str = "recover") -> None:
+        """Crash replica ``pid`` right now (``mode``: "stop" or "recover")."""
+        self.nodes[pid].crash(mode)
+
+    def recover_replica(self, pid: int) -> None:
+        """Recover a crashed replica: every component reloads its durable
+        state, catches up with peers and resumes periodic work."""
+        self.nodes[pid].recover()
+
+    # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
@@ -325,10 +385,39 @@ class BayouCluster:
         unanswered = [
             staged
             for staged in self._staged.values()
-            if not staged.responded
+            if not staged.responded and not self._response_lost(staged)
         ]
-        backlogs = any(replica.backlog for replica in self.replicas)
+        backlogs = any(
+            replica.backlog
+            for replica in self.replicas
+            if not replica.node.crashed
+        )
         return not unanswered and not backlogs
+
+    def _response_lost(self, staged: _StagedEvent) -> bool:
+        """Whether a crash made this request permanently unanswerable.
+
+        With stable storage, a replica that crashes drops its volatile
+        response bookkeeping at recovery, so any request invoked on it
+        before the crash that had not responded yet never will (even if
+        the request itself survives in the durable write-ahead log and
+        still commits). Without stable storage the in-memory bookkeeping
+        survives recovery — a pending response can still arrive — so only
+        a *permanent* (crash-stop) outage writes the request off. Either
+        way such events stay PENDING in the history; stability detection
+        must not wait for them.
+        """
+        replica = self.replicas[staged.session]
+        crashed_after_invoke = any(
+            at >= staged.invoke_time for at in replica.crash_times
+        )
+        if replica.store is not None:
+            return crashed_after_invoke
+        return (
+            crashed_after_invoke
+            and replica.node.crashed
+            and replica.node.crash_mode == "stop"
+        )
 
     def shutdown(self) -> None:
         """Stop all periodic activity so in-flight events can drain."""
@@ -429,24 +518,36 @@ class BayouCluster:
     # Convergence diagnostics
     # ------------------------------------------------------------------
     def converged(self) -> bool:
-        """All replicas agree on the order and have fully executed it."""
-        orders = [
-            [r.dot for r in replica.current_order()] for replica in self.replicas
+        """All live replicas agree on the order and have fully executed it.
+
+        Crashed replicas are excluded: a crash-stop replica can never catch
+        up (by definition), and a crash–recovery replica rejoins the check
+        the moment it recovers — E11's convergence criterion is exactly
+        that a *recovered* replica is indistinguishable from a survivor
+        here.
+        """
+        live = [
+            replica for replica in self.replicas if not replica.node.crashed
         ]
+        if not live:
+            return False
+        orders = [[r.dot for r in replica.current_order()] for replica in live]
         if any(order != orders[0] for order in orders[1:]):
             return False
-        if any(replica.backlog for replica in self.replicas):
+        if any(replica.backlog for replica in live):
             return False
-        snapshots = [replica.state.snapshot() for replica in self.replicas]
+        snapshots = [replica.state.snapshot() for replica in live]
         return all(snapshot == snapshots[0] for snapshot in snapshots[1:])
 
     def convergence_report(self) -> Dict[str, Any]:
         """Structured convergence diagnostics for experiment reports."""
         return {
             "converged": self.converged(),
+            "crashed": [r.node.crashed for r in self.replicas],
             "committed_lengths": [len(r.committed) for r in self.replicas],
             "tentative_lengths": [len(r.tentative) for r in self.replicas],
             "backlogs": [r.backlog for r in self.replicas],
             "executions": [r.execution_count for r in self.replicas],
             "rollbacks": [r.rollback_count for r in self.replicas],
+            "downtimes": [r.downtime for r in self.replicas],
         }

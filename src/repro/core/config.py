@@ -52,6 +52,19 @@ class BayouConfig:
         restore long divergent suffixes from the nearest checkpoint at or
         before the divergence point instead of unwinding request-by-request.
         ``None`` (default) keeps the seed's pure undo-log behaviour.
+    durability:
+        Stable storage backing each replica (crash–recovery support):
+        ``"none"`` (default — the seed's purely volatile replicas; a
+        recovered replica resumes with whatever in-memory state survived,
+        which models a transient pause, not a real crash), ``"memory"``
+        (perfect in-process stable storage; write-ahead logs, commit order,
+        version vectors, acceptor state and committed-prefix checkpoints
+        all survive a crash) or ``"jsonl"`` (the same surface as JSON-lines
+        files under ``durability_dir``, also readable by a later OS
+        process).
+    durability_dir:
+        Directory for the ``"jsonl"`` backend (one subdirectory per
+        replica). When unset, a temporary directory is created per cluster.
     record_perceived_traces:
         Capture ``exec(e)`` (the perceived state trace) for every response,
         as the formal framework requires. Costs O(trace) time and memory
@@ -83,6 +96,8 @@ class BayouConfig:
     optimize_tail_execution: bool = False
     reorder_engine: str = "stepwise"
     checkpoint_interval: Optional[int] = None
+    durability: str = "none"
+    durability_dir: Optional[str] = None
     record_perceived_traces: bool = True
     enable_trace: bool = True
     seed: int = 0
@@ -125,6 +140,13 @@ class BayouConfig:
             )
         if self.reorder_engine not in ("stepwise", "batched"):
             raise ValueError(f"unknown reorder_engine {self.reorder_engine!r}")
+        if self.durability not in ("none", "memory", "jsonl"):
+            raise ValueError(f"unknown durability backend {self.durability!r}")
+        if self.durability_dir is not None and self.durability != "jsonl":
+            raise ValueError(
+                "durability_dir only applies to the 'jsonl' backend, "
+                f"got durability={self.durability!r}"
+            )
         if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
             raise ValueError(
                 "checkpoint_interval must be a positive integer when set, "

@@ -1,0 +1,273 @@
+"""Durable (stable-storage) state for crash–recovery replicas.
+
+The paper's model lets replicas "crash silently and cease all
+communication"; the original 1995 Bayou kept its write log in stable
+storage precisely so a crashed replica could come back and catch up. This
+module is that stable storage, shared by every component living on a
+:class:`~repro.net.node.RoutingNode`:
+
+- a :class:`DurableStore` is one replica's disk. It exposes *named
+  append-only logs* (``store.log("replica.wal")``) and a small *key–value
+  area* (``store.put`` / ``store.get``). Component state is namespaced by
+  prefixing keys/log names with the component tag, so one store serves the
+  replica, the dissemination endpoint and the TOB engine at once.
+- :class:`InMemoryStore` models perfect stable storage: whatever was
+  written before the crash is readable after recovery, with zero I/O cost.
+  It survives :meth:`Process.crash` because crashing wipes only *volatile*
+  state — the store object itself plays the role of the disk.
+- :class:`JsonLinesStore` actually writes JSON-lines files under a
+  directory (one subdirectory per replica), so a recovery can also be
+  exercised across operating-system processes. It requires records to be
+  encodable by :func:`to_jsonable` (requests, operations, tuples, dicts
+  and JSON scalars are supported; arbitrary objects are rejected loudly).
+
+Writes are *write-ahead* with respect to the simulation: a component
+persists a record in the same atomic simulation step that mutates its
+in-memory state, so there is no window in which a crash loses
+acknowledged state. Recovery (:meth:`Process.recover`) is the inverse:
+each component's ``on_recover`` hook discards volatile state and reloads
+from its namespace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.request import Req
+from repro.datatypes.base import Operation
+
+__all__ = [
+    "DurabilityError",
+    "DurableLog",
+    "DurableStore",
+    "InMemoryStore",
+    "JsonLinesStore",
+    "from_jsonable",
+    "open_store",
+    "to_jsonable",
+]
+
+
+class DurabilityError(RuntimeError):
+    """Raised when a record cannot be persisted or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Wire encoding (JSON-lines backend)
+# ----------------------------------------------------------------------
+def to_jsonable(value: Any) -> Any:
+    """Encode ``value`` into a JSON-serialisable structure, reversibly.
+
+    Tuples, non-string-keyed dicts, :class:`Req` and :class:`Operation`
+    are tagged so :func:`from_jsonable` restores the exact Python value —
+    recovered replica state must compare equal to what survivors hold
+    (bit-identical convergence is the whole point).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Req):
+        return {
+            "~req": [
+                value.timestamp,
+                to_jsonable(value.dot),
+                value.strong,
+                to_jsonable(value.op),
+            ]
+        }
+    if isinstance(value, Operation):
+        return {"~op": [value.name, to_jsonable(value.args)]}
+    if isinstance(value, tuple):
+        return {"~t": [to_jsonable(item) for item in value]}
+    if isinstance(value, list):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) and not key.startswith("~") for key in value):
+            return {key: to_jsonable(item) for key, item in value.items()}
+        return {
+            "~d": [[to_jsonable(key), to_jsonable(item)] for key, item in value.items()]
+        }
+    raise DurabilityError(
+        f"cannot persist {value!r} of type {type(value).__name__}; the "
+        "JSON-lines backend handles scalars, tuples, lists, dicts, "
+        "Operation and Req only"
+    )
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable`."""
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        if "~req" in value:
+            timestamp, dot, strong, op = value["~req"]
+            return Req(
+                timestamp=timestamp,
+                dot=from_jsonable(dot),
+                strong=strong,
+                op=from_jsonable(op),
+            )
+        if "~op" in value:
+            name, args = value["~op"]
+            return Operation(name=name, args=from_jsonable(args))
+        if "~t" in value:
+            return tuple(from_jsonable(item) for item in value["~t"])
+        if "~d" in value:
+            return {
+                from_jsonable(key): from_jsonable(item) for key, item in value["~d"]
+            }
+        return {key: from_jsonable(item) for key, item in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# Store interfaces
+# ----------------------------------------------------------------------
+class DurableLog:
+    """One named append-only log inside a :class:`DurableStore`."""
+
+    def append(self, record: Any) -> None:
+        raise NotImplementedError
+
+    def records(self) -> List[Any]:
+        """All records, in append order (a fresh list each call)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+class DurableStore:
+    """A replica's stable storage: named logs plus a key–value area."""
+
+    def log(self, name: str) -> DurableLog:
+        """The (created-on-first-use) append-only log called ``name``."""
+        raise NotImplementedError
+
+    def put(self, key: str, value: Any) -> None:
+        """Durably set ``key`` (last write wins)."""
+        raise NotImplementedError
+
+    def get(self, key: str, default: Any = None) -> Any:
+        raise NotImplementedError
+
+
+class _MemoryLog(DurableLog):
+    def __init__(self) -> None:
+        self._records: List[Any] = []
+
+    def append(self, record: Any) -> None:
+        self._records.append(record)
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class InMemoryStore(DurableStore):
+    """Perfect stable storage held in the host process.
+
+    Models a disk that never loses a completed write; records are stored
+    by reference (requests and operations are immutable, and snapshot
+    values are copied by the writers before they reach the store).
+    """
+
+    def __init__(self) -> None:
+        self._logs: Dict[str, _MemoryLog] = {}
+        self._kv: Dict[str, Any] = {}
+
+    def log(self, name: str) -> DurableLog:
+        if name not in self._logs:
+            self._logs[name] = _MemoryLog()
+        return self._logs[name]
+
+    def put(self, key: str, value: Any) -> None:
+        self._kv[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._kv.get(key, default)
+
+
+class _JsonLinesLog(DurableLog):
+    """A log backed by one ``<name>.jsonl`` file, with an in-memory cache."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._records: List[Any] = []
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        self._records.append(from_jsonable(json.loads(line)))
+
+    def append(self, record: Any) -> None:
+        encoded = json.dumps(to_jsonable(record))
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(encoded + "\n")
+        self._records.append(record)
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class JsonLinesStore(DurableStore):
+    """A directory of JSON-lines files: one per log, plus ``kv.jsonl``.
+
+    The key–value area is itself an append-only file (last write per key
+    wins on reload), so every durable write is a single atomic append.
+    Opening a second store over the same directory models an
+    operating-system restart: everything appended before the "crash" is
+    visible again.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._logs: Dict[str, _JsonLinesLog] = {}
+        self._kv: Dict[str, Any] = {}
+        self._kv_path = os.path.join(directory, "kv.jsonl")
+        if os.path.exists(self._kv_path):
+            with open(self._kv_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        key, value = json.loads(line)
+                        self._kv[key] = from_jsonable(value)
+
+    def _safe_filename(self, name: str) -> str:
+        return "".join(c if (c.isalnum() or c in "._-") else "_" for c in name)
+
+    def log(self, name: str) -> DurableLog:
+        if name not in self._logs:
+            path = os.path.join(self.directory, self._safe_filename(name) + ".jsonl")
+            self._logs[name] = _JsonLinesLog(path)
+        return self._logs[name]
+
+    def put(self, key: str, value: Any) -> None:
+        encoded = json.dumps([key, to_jsonable(value)])
+        with open(self._kv_path, "a", encoding="utf-8") as handle:
+            handle.write(encoded + "\n")
+        self._kv[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._kv.get(key, default)
+
+
+def open_store(backend: str, *, directory: Optional[str] = None) -> Optional[DurableStore]:
+    """Construct the store for one replica, or None for ``"none"``."""
+    if backend == "none":
+        return None
+    if backend == "memory":
+        return InMemoryStore()
+    if backend == "jsonl":
+        if directory is None:
+            raise DurabilityError("the jsonl durability backend needs a directory")
+        return JsonLinesStore(directory)
+    raise DurabilityError(f"unknown durability backend {backend!r}")

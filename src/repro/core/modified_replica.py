@@ -51,6 +51,7 @@ class ModifiedBayouReplica(BayouReplica):
         if strong:
             # Lines 13-14: await the committed execution; TOB only.
             self._awaiting[req.dot] = self._no_response_sentinel()
+            self._persist_invoke(req)
             self.tob.tob_cast(req.dot, req)
             return req
 
@@ -61,6 +62,11 @@ class ModifiedBayouReplica(BayouReplica):
         # capture — a snapshot of a state about to be undone is wasted work
         # under BayouConfig.checkpoint_interval.
         readonly = self.datatype.is_readonly(op)
+        if readonly and self.store is not None:
+            # Invisible reads leave no replicated state, but their event
+            # numbers must still survive a crash: dots key the history, so
+            # a recovered replica may never mint a dot twice.
+            self.store.put("replica.curr_event_no", self.curr_event_no)
         keep = not readonly and self._may_keep_execution(req)
         perceived = self._capture_perceived()
         response = self.state.execute(req, checkpoint=keep)
@@ -81,11 +87,20 @@ class ModifiedBayouReplica(BayouReplica):
 
         if not readonly:
             # Lines 8-11: disseminate and speculate only updating requests.
+            # (Invisible weak reads are never persisted either: they leave
+            # no replicated state for a recovery to rebuild.)
+            self._persist_invoke(req)
             self.rb.rb_cast(req.dot, req)
             self.tob.tob_cast(req.dot, req)
             self.adjust_tentative_order(req)
             self._arm_retransmit()
         return req
+
+    def _joins_tentative(self, req: Req) -> bool:
+        """Strong requests never join the tentative list in Algorithm 2, so
+        a recovery rebuild must keep them off it too (they are re-announced
+        through TOB instead)."""
+        return not req.strong
 
     def _may_keep_execution(self, req: Req) -> bool:
         """True when the immediate execution already sits at the tail."""

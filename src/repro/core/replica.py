@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.broadcast.total_order import TotalOrderBroadcast
 from repro.core.config import BayouConfig
+from repro.core.durability import DurableStore, from_jsonable, to_jsonable
 from repro.core.request import Dot, Req
 from repro.core.state_object import StateObject
 from repro.datatypes.base import DataType, Operation
@@ -78,6 +79,7 @@ class BayouReplica:
         *,
         trace: Optional[TraceLog] = None,
         responder: Optional[Responder] = None,
+        store: Optional[DurableStore] = None,
     ) -> None:
         self.node = node
         self.pid = node.pid
@@ -86,6 +88,10 @@ class BayouReplica:
         self.config = config
         self.trace = trace
         self.responder = responder
+        #: Stable storage (None = the seed's purely volatile replica). The
+        #: write-ahead log, commit order, event counter and committed-prefix
+        #: checkpoints live here; :meth:`_on_node_recover` reloads them.
+        self.store = store
 
         #: Optional hook called on every TOB commit (the cluster uses it to
         #: stabilise the request's OpFuture).
@@ -116,7 +122,9 @@ class BayouReplica:
 
         # Engine bookkeeping.
         self._step_scheduled = False
+        self._step_timer = None
         self._retransmit_armed = False
+        self._retransmit_timer = None
         self._stopped = False
         self._batched = config.reorder_engine == "batched"
         #: Simulated time at which the currently armed batch drains.
@@ -127,6 +135,25 @@ class BayouReplica:
         # Metrics.
         self.execution_count = 0
         self.rollback_count = 0
+        self.crash_time: Optional[float] = None
+        self.crash_times: List[float] = []
+        self.downtime = 0.0
+
+        # Durability bookkeeping. A non-empty pre-existing store means this
+        # replica is being reconstructed over an earlier incarnation's disk
+        # (e.g. a new cluster on the same JSON-lines directory): reload it,
+        # exactly like an in-simulation recovery, so no acknowledged state
+        # — nor the event counter guarding against dot reuse — is lost.
+        self._wal_dots: Set[Dot] = set()
+        self._persisted_checkpoint = 0
+        self.restored_from_store = False
+        if store is not None and len(store.log("replica.wal")):
+            self.restored_from_store = True
+            self._rebuild_from_store()
+
+        node.register_crash_hooks(
+            on_crash=self._on_node_crash, on_recover=self._on_node_recover
+        )
 
     # ------------------------------------------------------------------
     # Client API (Algorithm 1, lines 9-15)
@@ -145,6 +172,7 @@ class BayouReplica:
             self.trace.record(
                 self.node.sim.now, self.pid, "bayou.invoke", dot=req.dot, op=str(op)
             )
+        self._persist_invoke(req)
         self.rb.rb_cast(req.dot, req)
         self.tob.tob_cast(req.dot, req)
         self.adjust_tentative_order(req)
@@ -196,6 +224,7 @@ class BayouReplica:
             self.trace.record(
                 self.node.sim.now, self.pid, "bayou.rb_deliver", dot=req.dot
             )
+        self._persist_request(req)
         self.adjust_tentative_order(req)
 
     def on_rb_deliver_batch(self, items: Iterable[Tuple[Dot, Req]]) -> None:
@@ -220,6 +249,8 @@ class BayouReplica:
             fresh.append(req)
         if not fresh:
             return
+        for req in fresh:
+            self._persist_request(req)
         all_tail = True
         for req in fresh:
             # Stale fast-path appends to to_be_executed are harmless: the
@@ -248,6 +279,9 @@ class BayouReplica:
             return  # defensive: engines deliver each key once
         self.committed.append(req)
         self._committed_dots.add(req.dot)
+        self._persist_request(req)
+        if self.store is not None:
+            self.store.log("replica.commits").append(req.dot)
         if self.trace is not None:
             self.trace.record(
                 self.node.sim.now, self.pid, "bayou.tob_deliver", dot=req.dot
@@ -273,6 +307,7 @@ class BayouReplica:
             self._respond(req, response, perceived, stable=True)
         if self.commit_listener is not None:
             self.commit_listener(req)
+        self._maybe_persist_checkpoint()
 
     # ------------------------------------------------------------------
     # Execution scheduling (lines 35-40)
@@ -299,6 +334,7 @@ class BayouReplica:
         if self._stopped:
             return
         if not self.to_be_rolled_back and not self.to_be_executed:
+            self._maybe_persist_checkpoint()
             return
         if self._batched:
             self._arm_batch()
@@ -306,7 +342,7 @@ class BayouReplica:
         if self._step_scheduled:
             return
         self._step_scheduled = True
-        self.node.set_timer(
+        self._step_timer = self.node.set_timer(
             self.config.exec_delay_for(self.pid),
             self._step,
             label=f"bayou.step r{self.pid}",
@@ -314,6 +350,7 @@ class BayouReplica:
 
     def _step(self) -> None:
         self._step_scheduled = False
+        self._step_timer = None
         if self.to_be_rolled_back:
             head = self.to_be_rolled_back.pop(0)
             self.state.rollback(head)
@@ -352,7 +389,7 @@ class BayouReplica:
             self._batch_charged = backlog
         if self._batch_deadline is not None and not self._step_scheduled:
             self._step_scheduled = True
-            self.node.set_timer(
+            self._step_timer = self.node.set_timer(
                 self._batch_deadline - self.node.sim.now,
                 self._batch_step,
                 label=f"bayou.batch r{self.pid}",
@@ -360,13 +397,14 @@ class BayouReplica:
 
     def _batch_step(self) -> None:
         self._step_scheduled = False
+        self._step_timer = None
         if self._stopped or self._batch_deadline is None:
             return
         remaining = self._batch_deadline - self.node.sim.now
         if remaining > 1e-9:
             # The deadline moved while we were queued: re-arm for the rest.
             self._step_scheduled = True
-            self.node.set_timer(
+            self._step_timer = self.node.set_timer(
                 remaining, self._batch_step, label=f"bayou.batch r{self.pid}"
             )
             return
@@ -525,6 +563,7 @@ class BayouReplica:
 
         def tick() -> None:
             self._retransmit_armed = False
+            self._retransmit_timer = None
             if self._stopped or not self.tentative:
                 return
             assert self.tob is not None
@@ -532,4 +571,192 @@ class BayouReplica:
                 self.tob.tob_cast(req.dot, req)
             self._arm_retransmit()
 
-        self.node.set_timer(interval, tick, label=f"bayou.retransmit r{self.pid}")
+        self._retransmit_timer = self.node.set_timer(
+            interval, tick, label=f"bayou.retransmit r{self.pid}"
+        )
+
+    # ------------------------------------------------------------------
+    # Durability and crash recovery
+    # ------------------------------------------------------------------
+    def _persist_invoke(self, req: Req) -> None:
+        """Write-ahead the freshly minted local request and its event number.
+
+        Persisting ``curr_event_no`` is what stops a recovered replica from
+        reusing dots: a dot collision after recovery would silently merge
+        two different requests at every peer.
+        """
+        if self.store is None:
+            return
+        self.store.put("replica.curr_event_no", self.curr_event_no)
+        self._persist_request(req)
+
+    def _persist_request(self, req: Req) -> None:
+        """Append ``req`` to the durable write-ahead log (once per dot)."""
+        if self.store is None or req.dot in self._wal_dots:
+            return
+        self._wal_dots.add(req.dot)
+        self.store.log("replica.wal").append(req)
+
+    def _maybe_persist_checkpoint(self) -> None:
+        """Persist the freshest committed-prefix state checkpoint.
+
+        Only prefixes of the *committed* order are durable checkpoints: the
+        committed order is final, so the snapshot can never be invalidated
+        by a rollback, and recovery can restore it without undo
+        information. The in-memory checkpoints PR 2 introduced are keyed by
+        live-trace position; a position at or below
+        ``min(len(executed), len(committed))`` is exactly such a prefix.
+        """
+        interval = self.config.checkpoint_interval
+        if self.store is None or interval is None:
+            return
+        stable = min(len(self.executed), len(self.committed))
+        if stable - self._persisted_checkpoint < interval:
+            return
+        checkpoint = self.state._nearest_checkpoint(stable)
+        if checkpoint is None or checkpoint[0] <= self._persisted_checkpoint:
+            return
+        position, db = checkpoint
+        self._persisted_checkpoint = position
+        self.store.put(
+            "replica.checkpoint",
+            {"position": position, "db": to_jsonable(dict(db))},
+        )
+
+    def _on_node_crash(self, mode: str) -> None:
+        """The host node crashed; volatile state is now garbage."""
+        self.crash_time = self.node.sim.now
+        self.crash_times.append(self.node.sim.now)
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now, self.pid, "bayou.crash", mode=mode
+            )
+
+    def _on_node_recover(self) -> None:
+        """Rebuild from stable storage (or resume with amnesia without it).
+
+        Recovery = reload the nearest committed-prefix checkpoint, rebuild
+        the ``committed · tentative`` order from the write-ahead and commit
+        logs, and replay the suffix through the normal execution engine (so
+        replay costs ``exec_delay`` per request, like any backlog). All
+        volatile state — in-flight responses, perceived traces, schedule
+        caches, timers — is discarded.
+        """
+        if self.crash_time is not None:
+            self.downtime += self.node.sim.now - self.crash_time
+            self.crash_time = None
+        if self.trace is not None:
+            self.trace.record(self.node.sim.now, self.pid, "bayou.recover")
+        # Engine timers and flags are volatile with or without stable
+        # storage: a step/retransmit timer suppressed during the downtime
+        # (resurrect=False) would otherwise leave its armed flag stuck True
+        # with no timer behind it, stalling the engine forever.
+        for timer in (self._step_timer, self._retransmit_timer):
+            if timer is not None:
+                timer.cancel()
+        self._step_timer = None
+        self._retransmit_timer = None
+        self._step_scheduled = False
+        self._retransmit_armed = False
+        self._batch_deadline = None
+        self._batch_charged = 0
+        if self.store is None:
+            # No stable storage: the seed's amnesia-free flag flip. The
+            # in-memory state survives (including in-flight _awaiting
+            # responses), which models a transient pause rather than a
+            # real crash; experiments wanting honest crash-recovery
+            # semantics configure a durability backend.
+            self._schedule_step()
+            self._arm_retransmit()
+            return
+
+        # Volatile client state is gone: responses in flight at the crash
+        # are lost (their history events stay pending), exactly like a
+        # client whose server rebooted mid-request.
+        self._awaiting = {}
+        self._rebuild_from_store()
+
+    def _rebuild_from_store(self) -> None:
+        """Reload the durable surface and schedule the replay.
+
+        Shared by in-simulation recovery and by construction over a
+        pre-existing store (a cluster restarted over the same JSON-lines
+        directory — an operating-system-level crash–recovery).
+        """
+        requests: Dict[Dot, Req] = {
+            record.dot: record for record in self.store.log("replica.wal").records()
+        }
+        commit_order: List[Dot] = list(self.store.log("replica.commits").records())
+        self.curr_event_no = self.store.get("replica.curr_event_no", 0)
+        self._wal_dots = set(requests)
+
+        self.committed = [requests[dot] for dot in commit_order]
+        self._committed_dots = set(commit_order)
+        tentative = sorted(
+            (
+                req
+                for dot, req in requests.items()
+                if dot not in self._committed_dots and self._joins_tentative(req)
+            ),
+        )
+        self.tentative = tentative
+        self._tentative_dots = {req.dot for req in tentative}
+        #: Known-but-uncommitted requests outside the tentative list (the
+        #: modified protocol's strong requests); reannounce() re-casts them.
+        self._recovered_nontentative = [
+            req
+            for dot, req in sorted(requests.items())
+            if dot not in self._committed_dots and not self._joins_tentative(req)
+        ]
+
+        # Restore the nearest committed-prefix checkpoint, then schedule a
+        # replay of everything after it.
+        order = self.committed + self.tentative
+        self.state = StateObject(
+            self.datatype, checkpoint_interval=self.config.checkpoint_interval
+        )
+        prefix_length = 0
+        persisted = self.store.get("replica.checkpoint")
+        if persisted is not None and persisted["position"] <= len(self.committed):
+            prefix_length = persisted["position"]
+            self.state.restore(
+                order[:prefix_length], from_jsonable(persisted["db"])
+            )
+        self._persisted_checkpoint = prefix_length
+        self.executed = list(order[:prefix_length])
+        self._executed_dots = [req.dot for req in self.executed]
+        self.to_be_rolled_back = []
+        self.to_be_executed = list(order[prefix_length:])
+        if self.trace is not None:
+            self.trace.record(
+                self.node.sim.now,
+                self.pid,
+                "bayou.replay",
+                checkpoint=prefix_length,
+                backlog=len(self.to_be_executed),
+            )
+        self._schedule_step()
+
+    def _joins_tentative(self, req: Req) -> bool:
+        """Whether an uncommitted logged request belongs on the tentative
+        list when rebuilding after recovery (Algorithm 2 keeps strong
+        requests off it; Algorithm 1 speculates on everything)."""
+        return True
+
+    def reannounce(self) -> None:
+        """Re-advertise uncommitted requests after a recovery.
+
+        TOB submissions that were in flight when the replica crashed may
+        never have reached the orderer; re-casting is safe (every engine
+        deduplicates by dot) and required for liveness. RB/anti-entropy
+        dissemination needs no re-cast: the durable dissemination logs
+        reloaded by the endpoints cover it, and their own recovery syncs
+        exchange whatever either side is missing.
+        """
+        if self.tob is None:
+            return
+        for req in self.tentative:
+            self.tob.tob_cast(req.dot, req)
+        for req in getattr(self, "_recovered_nontentative", ()):
+            self.tob.tob_cast(req.dot, req)
+        self._arm_retransmit()

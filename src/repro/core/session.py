@@ -247,6 +247,10 @@ class Session:
         self.latencies: List[float] = []
         #: Every future this session ever issued, in submission order.
         self.futures: List[OpFuture] = []
+        #: Futures refused because the replica crash-stopped (they are
+        #: never invoked; their state stays pending forever).
+        self.refused: List[OpFuture] = []
+        self._resume_on_recovery_registered = False
 
     # ------------------------------------------------------------------
     # Typed operation proxies
@@ -330,6 +334,23 @@ class Session:
     def _pump(self) -> None:
         self._pump_scheduled = False
         if self._outstanding is not None or not self._queue:
+            return
+        node = self.cluster.nodes[self.pid]
+        if node.crashed:
+            # The server is unreachable. A crash–recovery outage pauses the
+            # session (it resumes when the replica comes back); a crash-stop
+            # outage refuses everything still queued — the connection is
+            # gone for good, and polling would keep the simulation alive
+            # forever.
+            if node.crash_mode == "recover":
+                if not self._resume_on_recovery_registered:
+                    self._resume_on_recovery_registered = True
+                    node.register_crash_hooks(
+                        on_recover=self._maybe_schedule_pump
+                    )
+                return
+            self.refused.extend(self._queue)
+            self._queue.clear()
             return
         self._launch(self._queue.popleft())
 

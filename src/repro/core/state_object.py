@@ -55,6 +55,23 @@ class _Absent:
 _ABSENT = _Absent()
 
 
+class _LostUndo:
+    """Sentinel undo entry for requests restored from a recovery checkpoint.
+
+    A recovered prefix has no undo information (the pre-images died with
+    the crashed process); it also never needs any, because recovery only
+    restores *committed* prefixes and the committed order is final. The
+    sentinel makes an (impossible) rollback below the restored prefix fail
+    loudly instead of silently corrupting the register map.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<undo lost at recovery>"
+
+
+_LOST_UNDO = _LostUndo()
+
+
 class _UndoTrackingView(DbView):
     """A DbView that records the pre-image of every first write."""
 
@@ -148,6 +165,12 @@ class StateObject:
                 f"{position} of {len(self._undo_order)}; expected the tail "
                 f"request {self._undo_order[-1].dot!r}"
             )
+        if self._undo_log[req.dot] is _LOST_UNDO:
+            raise RollbackError(
+                f"rollback of {req.dot!r} below the recovery checkpoint: its "
+                "undo information was lost in a crash (only committed "
+                "prefixes are restored, and those never roll back)"
+            )
         undo_map = self._undo_log.pop(req.dot)
         self._undo_order.pop()
         for register_id, previous in undo_map.items():
@@ -156,6 +179,27 @@ class StateObject:
             else:
                 self.db[register_id] = previous
         self._drop_stale_checkpoints()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def restore(self, prefix: List[Req], db: Dict[Hashable, Any]) -> None:
+        """Reset to a recovered state: ``db`` after executing ``prefix``.
+
+        Used by :meth:`BayouReplica` recovery to seed the object from the
+        durable checkpoint nearest the committed frontier, so only the log
+        suffix needs replaying. The prefix must be *stable* (a committed
+        prefix of the final order): its undo information is gone, so any
+        later attempt to roll back below it raises :class:`RollbackError`.
+        """
+        self.db = dict(db)
+        self._undo_log = {req.dot: _LOST_UNDO for req in prefix}
+        self._undo_order = list(prefix)
+        self._checkpoints = []
+        if self.checkpoint_interval is not None:
+            self._checkpoints.append((len(prefix), dict(db)))
+        self.checkpoint_restores = 0
+        self.undo_unwinds = 0
 
     # ------------------------------------------------------------------
     # Checkpointed restoration

@@ -38,6 +38,16 @@ class PendingResponseError(ReproError, RuntimeError):
     """
 
 
+class ReplicaUnavailableError(ReproError, RuntimeError):
+    """Raised when an operation is invoked on a crashed replica.
+
+    A crashed replica "ceases all communication" — a real client could not
+    reach it, so the harness refuses the invocation instead of silently
+    executing it on a process that is supposed to be dead. Re-issue the
+    operation after the replica recovers (or against a survivor).
+    """
+
+
 class DivergedOrderError(ReproError, AssertionError):
     """Raised when replicas disagree on the total-order-broadcast prefix.
 

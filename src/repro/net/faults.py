@@ -88,11 +88,23 @@ def quarantine_dot_rule(dot: Any, *, receiver: int, extra: float) -> FilterRule:
 
 @dataclass
 class CrashPlan:
-    """One planned crash (and optional recovery)."""
+    """One planned crash (and optional recovery).
+
+    ``mode`` is the :meth:`Process.crash` mode: ``"stop"`` for the paper's
+    permanent silent crash, ``"recover"`` for a crash–recovery fault. It
+    defaults to ``"recover"`` exactly when a ``recover_at`` is given.
+    """
 
     pid: int
     crash_at: float
     recover_at: Optional[float] = None
+    mode: Optional[str] = None
+
+    @property
+    def effective_mode(self) -> str:
+        if self.mode is not None:
+            return self.mode
+        return "recover" if self.recover_at is not None else "stop"
 
 
 class CrashSchedule:
@@ -101,17 +113,32 @@ class CrashSchedule:
     def __init__(self, plans: Sequence[CrashPlan] = ()) -> None:
         self.plans: List[CrashPlan] = list(plans)
 
-    def add(self, pid: int, crash_at: float, recover_at: Optional[float] = None) -> None:
+    def add(
+        self,
+        pid: int,
+        crash_at: float,
+        recover_at: Optional[float] = None,
+        *,
+        mode: Optional[str] = None,
+    ) -> None:
         """Plan a crash of ``pid`` at ``crash_at`` (and recovery, if given)."""
+        if mode not in (None, "stop", "recover"):
+            raise ValueError(f"unknown crash mode {mode!r}")
         if recover_at is not None and recover_at <= crash_at:
             raise ValueError("recovery must come after the crash")
-        self.plans.append(CrashPlan(pid, crash_at, recover_at))
+        if mode == "stop" and recover_at is not None:
+            raise ValueError("a crash-stop plan cannot have a recovery time")
+        self.plans.append(CrashPlan(pid, crash_at, recover_at, mode))
 
     def arm(self, sim: Simulator, processes: Dict[int, Process]) -> None:
         """Schedule the crash/recovery callbacks on the simulator."""
         for plan in self.plans:
             process = processes[plan.pid]
-            sim.schedule_at(plan.crash_at, process.crash, label=f"crash p{plan.pid}")
+            sim.schedule_at(
+                plan.crash_at,
+                lambda p=process, m=plan.effective_mode: p.crash(m),
+                label=f"crash p{plan.pid}",
+            )
             if plan.recover_at is not None:
                 sim.schedule_at(
                     plan.recover_at, process.recover, label=f"recover p{plan.pid}"

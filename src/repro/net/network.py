@@ -99,6 +99,10 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        #: Messages that reached a crashed receiver and were silently lost.
+        #: Kept out of ``delivered_count`` so dissemination benchmarks count
+        #: only messages a process actually consumed.
+        self.suppressed_count = 0
 
     def register(self, process: Process) -> None:
         """Attach a process; its ``pid`` must be in ``range(n_processes)``."""
@@ -172,6 +176,20 @@ class Network:
             return
         process = self._processes.get(envelope.receiver)
         if process is None:
+            return
+        if process.crashed:
+            # A crashed receiver silently drops the message (the paper's
+            # "cease all communication"); it was never delivered, so it
+            # must not count as one nor appear as a ``net.deliver`` trace.
+            self.suppressed_count += 1
+            if self.trace is not None:
+                self.trace.record(
+                    now,
+                    envelope.receiver,
+                    "net.suppress",
+                    sender=envelope.sender,
+                    payload=envelope.payload,
+                )
             return
         self.delivered_count += 1
         if self.trace is not None:

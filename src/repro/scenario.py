@@ -51,13 +51,14 @@ from repro.core.config import BayouConfig
 from repro.core.request import Dot
 from repro.core.session import OpFuture, Session, resolve_operation
 from repro.datatypes.base import DataType, Operation, PlainDb
-from repro.errors import PendingResponseError
+from repro.errors import PendingResponseError, ReplicaUnavailableError
 from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History, STRONG, WEAK
 from repro.framework.predicates import check_ncc
 from repro.framework.session_guarantees import check_all_session_guarantees
 from repro.net.faults import (
+    CrashSchedule,
     FilterRule,
     MessageFilter,
     delay_tob_for_dot_rule,
@@ -147,6 +148,7 @@ class Scenario:
         self._clock_rates: Dict[int, float] = {}
         self._exec_overrides: Dict[int, float] = {}
         self._partition_events: List[Tuple[str, float, Any]] = []
+        self._crash_plans: List[Tuple[int, float, Optional[float], Optional[str]]] = []
         self._filter_builders: List[Callable[[MessageFilter], None]] = []
         self._scripted: List[_ScriptedOp] = []
         self._clients: List[ScenarioClient] = []
@@ -264,6 +266,40 @@ class Scenario:
     def heal(self, at: float) -> "Scenario":
         """Restore full connectivity at time ``at``."""
         self._partition_events.append(("heal", at, None))
+        return self
+
+    def crash(
+        self,
+        pid: int,
+        at: float,
+        *,
+        recover_at: Optional[float] = None,
+        mode: Optional[str] = None,
+    ) -> "Scenario":
+        """Crash replica ``pid`` at time ``at``.
+
+        With ``recover_at`` the replica comes back (crash–recovery: every
+        component reloads what it persisted to the configured
+        :meth:`durability` backend and catches up with the survivors);
+        without it the crash is permanent (the paper's crash-stop model).
+        ``mode`` overrides the inferred :meth:`Process.crash` mode.
+        """
+        self._crash_plans.append((pid, at, recover_at, mode))
+        return self
+
+    def durability(
+        self, backend: str = "memory", *, directory: Optional[str] = None
+    ) -> "Scenario":
+        """Give every replica stable storage (``"memory"`` or ``"jsonl"``).
+
+        Required for meaningful crash–recovery runs: without it a recovered
+        replica resumes with whatever in-memory state happened to survive —
+        a transient pause, not a crash. ``directory`` names the JSON-lines
+        root for the ``"jsonl"`` backend.
+        """
+        self._config_kwargs["durability"] = backend
+        if directory is not None:
+            self._config_kwargs["durability_dir"] = directory
         return self
 
     def filter(self, rule: FilterRule) -> "Scenario":
@@ -436,12 +472,19 @@ class Scenario:
             for build_filter in self._filter_builders:
                 build_filter(filters)
 
+        crashes = None
+        if self._crash_plans:
+            crashes = CrashSchedule()
+            for pid, at, recover_at, mode in self._crash_plans:
+                crashes.add(pid, at, recover_at, mode=mode)
+
         cluster = BayouCluster(
             self._datatype,
             config,
             protocol=self._protocol,
             partitions=partitions,
             filters=filters,
+            crashes=crashes,
         )
         return LiveRun(self, cluster)
 
@@ -479,6 +522,10 @@ class LiveRun:
         self.cluster = cluster
         #: label -> OpFuture for every labelled scripted/client operation.
         self.futures: Dict[str, OpFuture] = {}
+        #: label -> simulated time of scripted invocations refused because
+        #: their target replica was crashed (a crashed replica ceases all
+        #: communication; the rest of the run proceeds normally).
+        self.refused: Dict[str, float] = {}
         #: Sessions of the scripted clients, in declaration order (a pid
         #: may appear more than once).
         self.sessions: List[Session] = []
@@ -546,10 +593,18 @@ class LiveRun:
         return future
 
     def _fire_scripted(self, scripted: _ScriptedOp) -> None:
-        """Run one declared invocation (its label was claimed at declaration)."""
-        self.futures[scripted.label] = self.cluster.submit(
-            scripted.pid, scripted.op, strong=scripted.strong
-        )
+        """Run one declared invocation (its label was claimed at declaration).
+
+        An invocation scripted into a crash window is *refused*, not fatal:
+        the client could not reach the crashed replica, which is a run
+        observation (recorded in :attr:`refused`), not a harness error.
+        """
+        try:
+            self.futures[scripted.label] = self.cluster.submit(
+                scripted.pid, scripted.op, strong=scripted.strong
+            )
+        except ReplicaUnavailableError:
+            self.refused[scripted.label] = self.cluster.sim.now
 
     def run(self, until: Optional[float] = None) -> None:
         self.cluster.run(until=until)
@@ -636,6 +691,7 @@ class LiveRun:
             checks=checks,
             session_guarantees=session_guarantees,
             convergence=self.cluster.convergence_report(),
+            refused=dict(self.refused),
         )
 
 
@@ -652,6 +708,8 @@ class RunResult:
     checks: Dict[str, Any] = field(repr=False)
     session_guarantees: Optional[Dict[str, Any]] = field(repr=False)
     convergence: Dict[str, Any] = field(repr=False)
+    #: label -> time of scripted invocations refused at a crashed replica.
+    refused: Dict[str, float] = field(repr=False, default_factory=dict)
 
     # -- responses -----------------------------------------------------
     @property

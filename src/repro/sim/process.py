@@ -5,22 +5,86 @@ It matches the paper's replica model (Appendix A.2.1): a state automaton
 executing atomic steps in reaction to events. Crashing a process makes it
 silently drop all subsequent events — "replicas may crash silently and cease
 all communication".
+
+Two crash modes are supported (:meth:`Process.crash`):
+
+- ``"stop"`` (the paper's model): the process never executes another step.
+- ``"recover"`` (the original Bayou's model, which kept its write log in
+  stable storage): a later :meth:`Process.recover` brings the process back.
+  Components hosted on the process register ``on_crash``/``on_recover``
+  hooks (:meth:`register_crash_hooks`); a recovery hook's job is to discard
+  volatile state, reload whatever the component persisted to its
+  :class:`~repro.core.durability.DurableStore`, and resume periodic work.
+
+Timer bookkeeping distinguishes three terminal fates of a timer scheduled
+through :meth:`set_timer`:
+
+- **fired**: the callback ran normally;
+- **cancelled**: the owner called :meth:`ProcessTimer.cancel` — the timer is
+  dead regardless of crashes;
+- **suppressed**: the timer came due while the process was crashed. The
+  callback did not run, but the timer is *not* forgotten: a suppressed timer
+  created with ``resurrect=True`` is re-armed (with its original delay) when
+  the process recovers. This is what keeps self-re-arming periodic loops
+  (anti-entropy syncs, heartbeats, retransmission drives) alive across a
+  crash–recovery cycle instead of dying the first time their guard swallows
+  a tick.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.kernel import ScheduledEvent, Simulator
 
+#: Crash mode constants (also accepted as plain strings).
+CRASH_STOP = "stop"
+CRASH_RECOVER = "recover"
+
+CrashHook = Callable[[str], None]
+RecoverHook = Callable[[], None]
+
+
+class ProcessTimer:
+    """Handle for a local timer; distinguishes cancelled from suppressed."""
+
+    __slots__ = ("delay", "callback", "label", "resurrect", "cancelled",
+                 "suppressed", "fired", "event")
+
+    def __init__(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str,
+        resurrect: bool,
+    ) -> None:
+        self.delay = delay
+        self.callback = callback
+        self.label = label
+        self.resurrect = resurrect
+        self.cancelled = False
+        self.suppressed = False
+        self.fired = False
+        self.event: Optional[ScheduledEvent] = None
+
+    def cancel(self) -> None:
+        """Kill the timer for good; it will neither fire nor resurrect."""
+        self.cancelled = True
+        if self.event is not None:
+            self.event.cancel()
+
+    @property
+    def pending(self) -> bool:
+        """True while the timer is armed and none of its fates occurred."""
+        return not (self.cancelled or self.suppressed or self.fired)
+
 
 class Process:
-    """A crash-stop participant in the simulation.
+    """A participant in the simulation, crash-stop or crash-recovery.
 
     Subclasses implement :meth:`on_message`. Timers scheduled through
-    :meth:`set_timer` are automatically suppressed once the process crashes,
-    matching the crash-stop model: a crashed replica executes no further
-    steps of any kind.
+    :meth:`set_timer` are automatically suppressed while the process is
+    crashed: a crashed replica executes no further steps of any kind.
     """
 
     def __init__(self, sim: Simulator, pid: int, name: Optional[str] = None) -> None:
@@ -28,6 +92,12 @@ class Process:
         self.pid = pid
         self.name = name if name is not None else f"p{pid}"
         self.crashed = False
+        #: The mode of the current crash (None while up).
+        self.crash_mode: Optional[str] = None
+        self.crash_count = 0
+        self.recovery_count = 0
+        self._crash_hooks: List[Tuple[Optional[CrashHook], Optional[RecoverHook]]] = []
+        self._suppressed_timers: List[ProcessTimer] = []
 
     def on_message(self, sender: int, message: Any) -> None:
         """Handle a message delivered by the network. Override in subclasses."""
@@ -39,27 +109,96 @@ class Process:
             return
         self.on_message(sender, message)
 
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
     def set_timer(
         self,
         delay: float,
         callback: Callable[[], None],
         *,
         label: str = "",
-    ) -> ScheduledEvent:
-        """Schedule a local timer that silently fires only while not crashed."""
+        resurrect: bool = False,
+    ) -> ProcessTimer:
+        """Schedule a local timer that fires only while the process is up.
+
+        A timer coming due while the process is crashed is recorded as
+        *suppressed*; with ``resurrect=True`` it is re-armed (same delay)
+        when the process recovers — the contract periodic components rely
+        on to survive a crash–recovery cycle.
+        """
+        timer = ProcessTimer(delay, callback, label or f"{self.name}.timer", resurrect)
 
         def guarded() -> None:
-            if not self.crashed:
-                callback()
+            if timer.cancelled:
+                return
+            if self.crashed:
+                timer.suppressed = True
+                self._suppressed_timers.append(timer)
+                return
+            timer.fired = True
+            callback()
 
-        return self.sim.schedule(
-            delay, guarded, label=label or f"{self.name}.timer"
-        )
+        timer.event = self.sim.schedule(delay, guarded, label=timer.label)
+        return timer
 
-    def crash(self) -> None:
-        """Silently stop the process; all future events are ignored."""
+    # ------------------------------------------------------------------
+    # Crash–recovery lifecycle
+    # ------------------------------------------------------------------
+    def register_crash_hooks(
+        self,
+        *,
+        on_crash: Optional[CrashHook] = None,
+        on_recover: Optional[RecoverHook] = None,
+    ) -> None:
+        """Register component hooks, run in registration order.
+
+        ``on_crash(mode)`` runs when the process crashes; ``on_recover()``
+        runs when it recovers, *before* suppressed timers are resurrected,
+        so a component can rebuild its state ahead of its periodic loop
+        restarting.
+        """
+        self._crash_hooks.append((on_crash, on_recover))
+
+    def crash(self, mode: str = CRASH_STOP) -> None:
+        """Silently stop the process; all further events are ignored.
+
+        ``mode`` records intent only: ``"stop"`` is the paper's permanent
+        silent crash, ``"recover"`` announces that :meth:`recover` will be
+        called later. Either way the process executes nothing while down.
+        """
+        if self.crashed:
+            return
+        if mode not in (CRASH_STOP, CRASH_RECOVER):
+            raise ValueError(f"unknown crash mode {mode!r}")
         self.crashed = True
+        self.crash_mode = mode
+        self.crash_count += 1
+        for on_crash, _ in self._crash_hooks:
+            if on_crash is not None:
+                on_crash(mode)
 
     def recover(self) -> None:
-        """Un-crash the process (used only by recovery experiments)."""
+        """Bring a crashed process back.
+
+        Runs every registered ``on_recover`` hook (components discard
+        volatile state and reload from stable storage), then resurrects the
+        timers that were suppressed during the downtime and asked for it.
+        """
+        if not self.crashed:
+            return
         self.crashed = False
+        self.crash_mode = None
+        self.recovery_count += 1
+        suppressed, self._suppressed_timers = self._suppressed_timers, []
+        for _, on_recover in self._crash_hooks:
+            if on_recover is not None:
+                on_recover()
+        for timer in suppressed:
+            if timer.resurrect and not timer.cancelled:
+                self.set_timer(
+                    timer.delay,
+                    timer.callback,
+                    label=timer.label,
+                    resurrect=True,
+                )

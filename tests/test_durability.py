@@ -1,0 +1,167 @@
+"""Unit tests for the durable-store layer (stable storage for recovery)."""
+
+import pytest
+
+from repro.core.durability import (
+    DurabilityError,
+    InMemoryStore,
+    JsonLinesStore,
+    from_jsonable,
+    open_store,
+    to_jsonable,
+)
+from repro.core.request import Req
+from repro.datatypes.base import Operation
+from repro.datatypes.counter import Counter
+from repro.datatypes.rlist import RList
+from repro.net.faults import CrashSchedule
+from repro.core.cluster import BayouCluster
+from repro.core.config import BayouConfig
+
+
+# ----------------------------------------------------------------------
+# Wire encoding
+# ----------------------------------------------------------------------
+class TestJsonableCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            3,
+            2.5,
+            "text",
+            (1, 2),
+            [1, "a", (2, 3)],
+            {"plain": 1},
+            {(0, 1): "tuple-keyed", 2: "int-keyed"},
+            Operation("append", ("x",)),
+            Req(timestamp=1.5, dot=(0, 3), strong=True, op=Operation("read")),
+            {"nested": [((0, 1), Req(0.0, (1, 1), False, Operation("op", (1,))))]},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert from_jsonable(to_jsonable(value)) == value
+
+    def test_round_trip_preserves_types(self):
+        restored = from_jsonable(to_jsonable((1, [2, (3,)])))
+        assert isinstance(restored, tuple)
+        assert isinstance(restored[1], list)
+        assert isinstance(restored[1][1], tuple)
+
+    def test_unencodable_value_fails_loudly(self):
+        with pytest.raises(DurabilityError):
+            to_jsonable(object())
+
+    def test_tilde_keyed_dict_stays_reversible(self):
+        value = {"~t": "not a tuple tag"}
+        assert from_jsonable(to_jsonable(value)) == value
+
+
+# ----------------------------------------------------------------------
+# Stores
+# ----------------------------------------------------------------------
+class TestStores:
+    def test_open_store_backends(self, tmp_path):
+        assert open_store("none") is None
+        assert isinstance(open_store("memory"), InMemoryStore)
+        assert isinstance(
+            open_store("jsonl", directory=str(tmp_path)), JsonLinesStore
+        )
+        with pytest.raises(DurabilityError):
+            open_store("jsonl")
+        with pytest.raises(DurabilityError):
+            open_store("floppy")
+
+    @pytest.mark.parametrize("backend", ["memory", "jsonl"])
+    def test_log_append_order_and_kv(self, backend, tmp_path):
+        store = open_store(backend, directory=str(tmp_path))
+        log = store.log("test.log")
+        for i in range(5):
+            log.append((i, f"v{i}"))
+        assert len(log) == 5
+        assert store.log("test.log").records() == [(i, f"v{i}") for i in range(5)]
+        store.put("k", 1)
+        store.put("k", 2)  # last write wins
+        assert store.get("k") == 2
+        assert store.get("missing", "default") == "default"
+
+    def test_jsonl_survives_process_restart(self, tmp_path):
+        """Re-opening the directory models an operating-system restart."""
+        req = Req(timestamp=2.0, dot=(1, 4), strong=False, op=RList.append("z"))
+        first = JsonLinesStore(str(tmp_path))
+        first.log("replica.wal").append(req)
+        first.put("replica.curr_event_no", 4)
+        reopened = JsonLinesStore(str(tmp_path))
+        assert reopened.log("replica.wal").records() == [req]
+        assert reopened.get("replica.curr_event_no") == 4
+
+    def test_log_names_are_sanitised_to_files(self, tmp_path):
+        store = JsonLinesStore(str(tmp_path))
+        store.log("weird/..name").append("x")
+        reopened = JsonLinesStore(str(tmp_path))
+        assert reopened.log("weird/..name").records() == ["x"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a cluster over the JSON-lines backend
+# ----------------------------------------------------------------------
+class TestJsonlCluster:
+    def test_crash_recovery_over_jsonl(self, tmp_path):
+        config = BayouConfig(
+            n_replicas=3,
+            exec_delay=0.05,
+            message_delay=0.5,
+            durability="jsonl",
+            durability_dir=str(tmp_path),
+        )
+        crashes = CrashSchedule()
+        crashes.add(1, crash_at=5.0, recover_at=15.0)
+        cluster = BayouCluster(Counter(), config, crashes=crashes)
+        cluster.schedule_invoke(1.0, 1, Counter.increment(1))
+        cluster.schedule_invoke(7.0, 0, Counter.increment(2))
+        cluster.schedule_invoke(20.0, 1, Counter.increment(4))
+        cluster.run_until_quiescent()
+        assert cluster.converged()
+        assert cluster.replicas[1].state.snapshot()["counter:value"] == 7
+        # The write-ahead log really hit the disk.
+        wal = (tmp_path / "node1" / "replica.wal.jsonl").read_text()
+        assert wal.count("\n") == 3
+
+    def test_cluster_restart_over_jsonl_directory_keeps_state(self, tmp_path):
+        """A *new* cluster over the same directory models an OS-level
+        restart of every replica: committed state, the replicated value and
+        the event counters must all come back (no dot reuse)."""
+        config = BayouConfig(
+            n_replicas=2,
+            exec_delay=0.05,
+            message_delay=0.5,
+            durability="jsonl",
+            durability_dir=str(tmp_path),
+        )
+        first = BayouCluster(RList(), config)
+        first.schedule_invoke(1.0, 0, RList.append("a"))
+        first.schedule_invoke(2.0, 1, RList.append("b"))
+        first.run_until_quiescent()
+        expected = first.replicas[0].state.snapshot()
+        assert expected["list:items"] == ("a", "b")
+
+        restarted = BayouCluster(RList(), config)
+        assert all(replica.restored_from_store for replica in restarted.replicas)
+        restarted.schedule_invoke(1.0, 0, RList.append("c"))
+        restarted.run_until_quiescent()
+        assert restarted.converged()
+        snapshot = restarted.replicas[1].state.snapshot()
+        assert snapshot["list:items"] == ("a", "b", "c")
+        # Event numbering continued: the new append minted dot (0, 2).
+        assert restarted.replicas[0].curr_event_no == 2
+        assert [req.dot for req in restarted.replicas[0].committed][:2] == [
+            (0, 1),
+            (1, 1),
+        ]
+
+    def test_validate_rejects_dir_without_jsonl(self):
+        with pytest.raises(ValueError):
+            BayouConfig(durability="memory", durability_dir="/tmp/x").validate()
+        with pytest.raises(ValueError):
+            BayouConfig(durability="postgres").validate()
