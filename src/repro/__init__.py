@@ -72,6 +72,7 @@ from repro.datatypes import (
     SetType,
 )
 from repro.errors import (
+    CrossShardError,
     DivergedOrderError,
     PendingResponseError,
     ReplicaUnavailableError,
@@ -84,6 +85,14 @@ from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
 from repro.scenario import LiveRun, RunResult, Scenario
+from repro.shard import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardMap,
+    ShardRouter,
+    ShardedCluster,
+    ShardedRunResult,
+)
 
 __version__ = "2.0.0"
 
@@ -95,10 +104,12 @@ __all__ = [
     "ClientSession",
     "Counter",
     "CrashSchedule",
+    "CrossShardError",
     "DataType",
     "DivergedOrderError",
     "Dot",
     "DurableStore",
+    "HashPartitioner",
     "History",
     "HistoryEvent",
     "InMemoryStore",
@@ -113,6 +124,7 @@ __all__ = [
     "Operation",
     "PENDING",
     "PendingResponseError",
+    "RangePartitioner",
     "Register",
     "ReplicaUnavailableError",
     "Req",
@@ -124,6 +136,10 @@ __all__ = [
     "Session",
     "SessionProtocolError",
     "SetType",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedCluster",
+    "ShardedRunResult",
     "StateObject",
     "UnknownOperationError",
     "WEAK",

@@ -3,14 +3,26 @@
 A :class:`WorkloadProfile` is a weighted set of operation factories plus a
 probability of issuing an operation as strong. :class:`RandomWorkload`
 drives closed-loop :class:`~repro.core.session.Session` clients (one per
-replica) so the resulting history is well-formed, which the checking
-experiments (Theorems 2/3) require. ``Scenario.workload(...)`` is the
-fluent entry point.
+replica by default) so the resulting history is well-formed, which the
+checking experiments (Theorems 2/3) require. ``Scenario.workload(...)`` is
+the fluent entry point.
+
+Keyed workloads: a :class:`KeySampler` draws keys from a finite universe
+under a configurable skew (uniform, or Zipf with exponent ``s``), and the
+``kv``/``bank`` profiles accept one so the *same* generator drives
+single-cluster runs and sharded deployments (experiment E12 sweeps shard
+counts under uniform vs skewed key traffic). On a sharded deployment the
+cluster argument is a :class:`~repro.shard.router.ShardRouter`; the
+sessions it opens route each operation to the key's owner shard, and
+operations a profile marks *always-strong* (``strong_ops`` — e.g. the
+bank's potentially cross-shard ``transfer``) go through the cross-shard
+coordinator.
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -26,27 +38,112 @@ from repro.sim.rng import SeededRngRegistry
 OpFactory = Callable[[random.Random], Operation]
 
 
+def _cumulative_weights(weights, *, label: str) -> List[float]:
+    """Validated running sums — the one-time cost of bisect sampling."""
+    cumulative: List[float] = []
+    total = 0.0
+    for weight in weights:
+        if weight <= 0:
+            raise ValueError(f"{label} weights must be positive, got {weight!r}")
+        total += weight
+        cumulative.append(total)
+    return cumulative
+
+
+def _weighted_index(cumulative: List[float], rng: random.Random) -> int:
+    """One weighted draw: a uniform pick located by bisect, O(log n).
+
+    The ``min`` clamp covers the float edge where ``uniform`` returns its
+    upper bound exactly.
+    """
+    pick = rng.uniform(0.0, cumulative[-1])
+    return min(bisect_left(cumulative, pick), len(cumulative) - 1)
+
+
+class KeySampler:
+    """Draws keys from a finite universe under a fixed skew.
+
+    Cumulative weights are precomputed once; each draw is one uniform
+    sample plus a :func:`bisect.bisect_left` — O(log n) per key.
+    """
+
+    def __init__(self, keys: Sequence, weights: Optional[Sequence[float]] = None):
+        self.keys = list(keys)
+        if not self.keys:
+            raise ValueError("KeySampler needs at least one key")
+        if weights is None:
+            weights = [1.0] * len(self.keys)
+        if len(weights) != len(self.keys):
+            raise ValueError("weights must match keys one-to-one")
+        self._cumulative = _cumulative_weights(weights, label="key")
+
+    @classmethod
+    def uniform(cls, keys: Sequence) -> "KeySampler":
+        """Every key equally likely."""
+        return cls(keys)
+
+    @classmethod
+    def zipf(cls, keys: Sequence, s: float = 1.1) -> "KeySampler":
+        """Zipf-skewed: the i-th key (1-based) has weight ``1 / i**s``.
+
+        The canonical hot-key model — a handful of keys take most of the
+        traffic, so on a sharded deployment the shards owning them become
+        hotspots (E12's skewed legs measure exactly that).
+        """
+        if s <= 0:
+            raise ValueError(f"zipf exponent must be positive, got {s!r}")
+        weights = [1.0 / (rank**s) for rank in range(1, len(keys) + 1)]
+        return cls(keys, weights)
+
+    def sample(self, rng: random.Random):
+        """Draw one key."""
+        return self.keys[_weighted_index(self._cumulative, rng)]
+
+
+def make_sampler(
+    keys: Sequence, skew: str = "uniform", *, zipf_s: float = 1.1
+) -> KeySampler:
+    """A :class:`KeySampler` from a skew name (``"uniform"``/``"zipf"``)."""
+    if skew == "uniform":
+        return KeySampler.uniform(keys)
+    if skew == "zipf":
+        return KeySampler.zipf(keys, s=zipf_s)
+    raise ValueError(f"unknown key skew {skew!r} (use 'uniform' or 'zipf')")
+
+
 @dataclass
 class WorkloadProfile:
-    """Weighted operation mix for one data type."""
+    """Weighted operation mix for one data type.
+
+    ``strong_ops`` names operations that are *always* issued strongly,
+    regardless of ``strong_probability`` — order-sensitive multi-key
+    operations (the bank's ``transfer``) must be strong on sharded
+    deployments, where they may span shards.
+    """
 
     name: str
     factories: List[Tuple[float, OpFactory]]
     strong_probability: float = 0.2
+    strong_ops: frozenset = frozenset()
+    #: Cumulative factory weights, precomputed once (sampling is O(log n)).
+    _cumulative: List[float] = field(
+        init=False, repr=False, compare=False, default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self._cumulative = _cumulative_weights(
+            (weight for weight, _ in self.factories), label="factory"
+        )
 
     def sample(self, rng: random.Random) -> Tuple[Operation, bool]:
         """Draw one (operation, strong?) pair."""
-        total = sum(weight for weight, _ in self.factories)
-        pick = rng.uniform(0, total)
-        accumulated = 0.0
-        for weight, factory in self.factories:
-            accumulated += weight
-            if pick <= accumulated:
-                op = factory(rng)
-                break
-        else:  # pragma: no cover - float edge
-            op = self.factories[-1][1](rng)
+        op = self.factories[_weighted_index(self._cumulative, rng)][1](rng)
+        # Drawn unconditionally so the stream of random values — and hence
+        # every seeded workload — is identical whether or not the op is
+        # forced strong.
         strong = rng.random() < self.strong_probability
+        if op.name in self.strong_ops:
+            strong = True
         return op, strong
 
 
@@ -79,34 +176,61 @@ def list_profile(strong_probability: float = 0.2) -> WorkloadProfile:
     )
 
 
-def kv_profile(strong_probability: float = 0.25) -> WorkloadProfile:
-    """Puts, conditional puts (the consensus-requiring op), gets, removes."""
-    keys = ["alpha", "beta", "gamma", "delta"]
+#: Default key universe of the keyed profiles (kept at the historical four
+#: keys so existing seeded runs reproduce bit-identically).
+DEFAULT_KV_KEYS = ("alpha", "beta", "gamma", "delta")
+DEFAULT_ACCOUNTS = ("checking", "savings", "escrow")
+
+
+def kv_profile(
+    strong_probability: float = 0.25,
+    *,
+    sampler: Optional[KeySampler] = None,
+) -> WorkloadProfile:
+    """Puts, conditional puts (the consensus-requiring op), gets, removes.
+
+    ``sampler`` controls key choice (default: uniform over the four
+    historical keys); pass a skewed/bigger :class:`KeySampler` for E12's
+    sharded sweeps.
+    """
+    keys = sampler if sampler is not None else KeySampler.uniform(DEFAULT_KV_KEYS)
     return WorkloadProfile(
         name="kv",
         factories=[
-            (3.0, lambda rng: KVStore.put(rng.choice(keys), rng.randint(0, 99))),
-            (2.0, lambda rng: KVStore.put_if_absent(rng.choice(keys), rng.randint(0, 99))),
-            (3.0, lambda rng: KVStore.get(rng.choice(keys))),
-            (1.0, lambda rng: KVStore.remove(rng.choice(keys))),
+            (3.0, lambda rng: KVStore.put(keys.sample(rng), rng.randint(0, 99))),
+            (2.0, lambda rng: KVStore.put_if_absent(keys.sample(rng), rng.randint(0, 99))),
+            (3.0, lambda rng: KVStore.get(keys.sample(rng))),
+            (1.0, lambda rng: KVStore.remove(keys.sample(rng))),
         ],
         strong_probability=strong_probability,
     )
 
 
-def bank_profile(strong_probability: float = 0.3) -> WorkloadProfile:
-    """Deposits, guarded withdrawals and transfers over a few accounts."""
-    accounts = ["checking", "savings", "escrow"]
+def bank_profile(
+    strong_probability: float = 0.3,
+    *,
+    sampler: Optional[KeySampler] = None,
+) -> WorkloadProfile:
+    """Deposits, guarded withdrawals and transfers over a few accounts.
+
+    Transfers are always issued strongly: on a sharded deployment the two
+    accounts may live on different shards, and only strong operations may
+    cross shards (they stage through each owner's TOB).
+    """
+    accounts = (
+        sampler if sampler is not None else KeySampler.uniform(DEFAULT_ACCOUNTS)
+    )
     return WorkloadProfile(
         name="bank",
         factories=[
-            (3.0, lambda rng: BankAccounts.deposit(rng.choice(accounts), rng.randint(1, 50))),
-            (2.0, lambda rng: BankAccounts.withdraw(rng.choice(accounts), rng.randint(1, 60))),
+            (3.0, lambda rng: BankAccounts.deposit(accounts.sample(rng), rng.randint(1, 50))),
+            (2.0, lambda rng: BankAccounts.withdraw(accounts.sample(rng), rng.randint(1, 60))),
             (1.0, lambda rng: BankAccounts.transfer(
-                rng.choice(accounts), rng.choice(accounts), rng.randint(1, 30))),
-            (2.0, lambda rng: BankAccounts.balance(rng.choice(accounts))),
+                accounts.sample(rng), accounts.sample(rng), rng.randint(1, 30))),
+            (2.0, lambda rng: BankAccounts.balance(accounts.sample(rng))),
         ],
         strong_probability=strong_probability,
+        strong_ops=frozenset({"transfer"}),
     )
 
 
@@ -133,9 +257,20 @@ PROFILES = {
     "set": set_profile,
 }
 
+#: Profiles accepting a ``sampler=`` keyword (keyed types).
+KEYED_PROFILES = frozenset({"kv", "bank"})
+
 
 class RandomWorkload:
-    """Drives closed-loop sessions against a cluster."""
+    """Drives closed-loop sessions against a cluster (or shard router).
+
+    ``cluster`` is anything exposing ``connect(pid, think_time=...)`` and
+    ``config.n_replicas`` — a :class:`~repro.core.cluster.BayouCluster`
+    or a :class:`~repro.shard.router.ShardRouter` (whose sessions route
+    every operation to its key's owner shard). ``sessions`` overrides the
+    client count (default: one per replica index), so a sharded sweep can
+    hold the offered load constant while the shard count varies.
+    """
 
     def __init__(
         self,
@@ -145,19 +280,33 @@ class RandomWorkload:
         ops_per_session: int = 10,
         think_time: float = 0.5,
         seed: int = 0,
+        sessions: Optional[int] = None,
     ) -> None:
         self.cluster = cluster
         self.profile = profile
         self.ops_per_session = ops_per_session
         self.think_time = think_time
         self.rngs = SeededRngRegistry(seed)
+        self.n_sessions = (
+            sessions if sessions is not None else cluster.config.n_replicas
+        )
+        if self.n_sessions < 1:
+            raise ValueError(f"sessions must be >= 1, got {self.n_sessions}")
         self.sessions: List[Session] = []
 
     def start(self) -> None:
-        """Create one session per replica and queue its operations."""
-        for pid in range(self.cluster.config.n_replicas):
-            session = self.cluster.connect(pid, think_time=self.think_time)
-            rng = self.rngs.stream(f"session.{pid}")
+        """Create the sessions and queue their operations.
+
+        Session ``i`` binds to replica index ``i mod n_replicas`` — with
+        the default count that is exactly one session per replica, the
+        historical behaviour.
+        """
+        n_replicas = self.cluster.config.n_replicas
+        for index in range(self.n_sessions):
+            session = self.cluster.connect(
+                index % n_replicas, think_time=self.think_time
+            )
+            rng = self.rngs.stream(f"session.{index}")
             for _ in range(self.ops_per_session):
                 op, strong = self.profile.sample(rng)
                 session.submit(op, strong)

@@ -74,6 +74,12 @@ def _run_recovery() -> None:
     recovery.main([])
 
 
+def _run_shard() -> None:
+    from repro.analysis.experiments import sharding
+
+    sharding.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -85,6 +91,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "sessions": ("E9: session-guarantee cost of Algorithm 2", _run_sessions),
     "reorder": ("E10: checkpointed reorder engine at scale", _run_reorder),
     "recovery": ("E11: crash-recovery — durable state, catch-up, convergence", _run_recovery),
+    "shard": ("E12: sharded scaling, key skew, cross-shard strong transfers", _run_shard),
 }
 
 

@@ -83,6 +83,8 @@ class BayouCluster:
         partitions: Optional[PartitionSchedule] = None,
         filters: Optional[MessageFilter] = None,
         crashes: Optional[CrashSchedule] = None,
+        sim: Optional[Simulator] = None,
+        name: str = "",
     ) -> None:
         self.config = config or BayouConfig()
         self.config.validate()
@@ -90,8 +92,11 @@ class BayouCluster:
             raise ValueError(f"unknown protocol {protocol!r}")
         self.protocol = protocol
         self.datatype = datatype
+        #: Deployment name; prefixes node names (sharded deployments run
+        #: several clusters side by side on one shared simulator).
+        self.name = name
 
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.trace = TraceLog() if self.config.enable_trace else None
         self.rngs = SeededRngRegistry(self.config.seed)
         self.partitions = partitions or PartitionSchedule(self.config.n_replicas)
@@ -151,7 +156,9 @@ class BayouCluster:
         )
         self._durability_root: Optional[str] = None
         for pid in range(config.n_replicas):
-            node = RoutingNode(self.sim, self.network, pid, name=f"R{pid}")
+            node = RoutingNode(
+                self.sim, self.network, pid, name=f"{self.name}R{pid}"
+            )
             store = self._make_store(pid)
             clock = DriftingClock(
                 self.sim,

@@ -13,12 +13,14 @@ accounts they touch.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Hashable, Optional, Tuple
 
 from repro.datatypes.base import (
+    CrossShardPlan,
     DataType,
     DbView,
     Operation,
+    ShardedOp,
     UnknownOperationError,
     operation,
 )
@@ -79,3 +81,25 @@ class BankAccounts(DataType):
             view.write(_reg(target), target_balance + amount)
             return True
         raise UnknownOperationError(f"BankAccounts has no operation {op.name!r}")
+
+    # ------------------------------------------------------------------
+    # Sharding hooks
+    # ------------------------------------------------------------------
+    def keys_of(self, op: Operation) -> Tuple[Hashable, ...]:
+        if op.name == "transfer":
+            return (op.args[0], op.args[1])
+        return (op.args[0],)
+
+    def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
+        if op.name != "transfer":
+            return None
+        source, target, amount = op.args
+        # Debit first (the guarded step), credit once the debit committed.
+        # Between the two TOB positions the amount is in flight; the
+        # conservation invariant (no money minted or lost) holds again at
+        # quiescence, which E12's conservation leg asserts.
+        return CrossShardPlan(
+            prepare=(ShardedOp(source, BankAccounts.withdraw(source, amount)),),
+            commit=(ShardedOp(target, BankAccounts.deposit(target, amount)),),
+            decide=lambda values: (values[0] is not None, values[0] is not None),
+        )

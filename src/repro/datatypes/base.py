@@ -76,6 +76,51 @@ class PlainDb(DbView):
 
 
 @dataclass(frozen=True)
+class ShardedOp:
+    """One staged sub-operation of a cross-shard plan.
+
+    ``key`` names the register-group the sub-operation touches; a sharded
+    deployment routes it to the shard owning that key.
+    """
+
+    key: Hashable
+    op: "Operation"
+
+
+def _all_succeeded(prepare_values: Tuple[Any, ...]) -> Tuple[bool, Any]:
+    """Default decision: commit iff no prepare returned None/False."""
+    ok = all(value is not None and value is not False for value in prepare_values)
+    return ok, ok
+
+
+@dataclass(frozen=True)
+class CrossShardPlan:
+    """A prepare/commit decomposition of one multi-key operation.
+
+    When a multi-key operation's keys land on different shards it cannot
+    execute atomically inside one TOB; the plan stages it instead:
+
+    1. every ``prepare`` sub-operation is submitted *strongly* through its
+       owner shard's TOB (these are the guarded steps — e.g. the debit of
+       a transfer — and may fail);
+    2. once all prepares are committed, ``decide(prepare_values)`` returns
+       ``(success, rval)`` — ``rval`` is the whole operation's response;
+    3. on success the ``commit`` sub-operations are submitted strongly to
+       their owner shards; on failure the ``abort`` compensations are
+       (for plans whose prepares mutate state even when refused).
+
+    Conservation-style invariants (no money minted or lost) hold at
+    quiescence: between the prepare and commit TOB positions the moved
+    quantity is "in flight", which weak reads may observe as staleness.
+    """
+
+    prepare: Tuple[ShardedOp, ...] = ()
+    commit: Tuple[ShardedOp, ...] = ()
+    abort: Tuple[ShardedOp, ...] = ()
+    decide: Callable[[Tuple[Any, ...]], Tuple[bool, Any]] = _all_succeeded
+
+
+@dataclass(frozen=True)
 class OperationSpec:
     """Metadata of one declared operation of a :class:`DataType`.
 
@@ -113,8 +158,10 @@ RESERVED_OPERATION_NAMES = frozenset(
         "think_time",
         "weak",
         # DataType machinery
+        "cross_shard_plan",
         "execute",
         "is_readonly",
+        "keys_of",
         "op_spec",
         "operation_specs",
         "operations",
@@ -262,6 +309,29 @@ class DataType:
         if self._op_registry:
             return frozenset(self._op_registry)
         return self.READONLY
+
+    # ------------------------------------------------------------------
+    # Sharding hooks
+    # ------------------------------------------------------------------
+    def keys_of(self, op: Operation) -> Tuple[Hashable, ...]:
+        """The keys (register groups) ``op`` touches, for shard routing.
+
+        The default — an empty tuple — declares the type *unkeyed*: its
+        whole state is one unit, so a sharded deployment routes every
+        operation to the home shard (shard 0). Keyed types (``KVStore``,
+        ``BankAccounts``) override this so a ``ShardMap`` can place each
+        key's registers on exactly one shard.
+        """
+        return ()
+
+    def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
+        """The prepare/commit staging of a multi-key ``op`` (or None).
+
+        Only consulted when :meth:`keys_of` maps ``op`` onto more than one
+        shard; returning None refuses the operation (the router raises
+        :class:`~repro.errors.CrossShardError`).
+        """
+        return None
 
     @classmethod
     def operation_specs(cls) -> Dict[str, OperationSpec]:

@@ -13,12 +13,14 @@ captures the keys it touched.
 
 from __future__ import annotations
 
-from typing import Any, Hashable
+from typing import Any, Hashable, Optional, Tuple
 
 from repro.datatypes.base import (
+    CrossShardPlan,
     DataType,
     DbView,
     Operation,
+    ShardedOp,
     UnknownOperationError,
     operation,
 )
@@ -60,6 +62,16 @@ class KVStore(DataType):
         """Unbind ``key``; returns the removed value (or None)."""
         return Operation("remove", (key,))
 
+    @operation
+    def put_many(*pairs: Tuple[Hashable, Any]) -> Operation:
+        """Bind every ``(key, value)`` pair; returns the number written.
+
+        A multi-key write: on a sharded deployment its keys may live on
+        different shards, in which case it must be issued strongly and is
+        staged as one ``put`` per owner shard (see :meth:`cross_shard_plan`).
+        """
+        return Operation("put_many", tuple((k, v) for k, v in pairs))
+
     def execute(self, op: Operation, view: DbView) -> Any:
         if op.name == "put":
             key, value = op.args
@@ -82,4 +94,29 @@ class KVStore(DataType):
             cell = view.read(_reg(key))
             view.write(_reg(key), _ABSENT)
             return cell[1] if cell is not None else None
+        if op.name == "put_many":
+            for key, value in op.args:
+                view.write(_reg(key), ("bound", value))
+            return len(op.args)
         raise UnknownOperationError(f"KVStore has no operation {op.name!r}")
+
+    # ------------------------------------------------------------------
+    # Sharding hooks
+    # ------------------------------------------------------------------
+    def keys_of(self, op: Operation) -> Tuple[Hashable, ...]:
+        if op.name == "put_many":
+            return tuple(key for key, _ in op.args)
+        return (op.args[0],)
+
+    def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
+        if op.name != "put_many":
+            return None
+        # Unconditional writes: nothing can fail, so there is no prepare
+        # phase — every put commits on its owner shard.
+        commits = tuple(
+            ShardedOp(key, KVStore.put(key, value)) for key, value in op.args
+        )
+        count = len(op.args)
+        return CrossShardPlan(
+            commit=commits, decide=lambda _values: (True, count)
+        )

@@ -48,6 +48,18 @@ class ReplicaUnavailableError(ReproError, RuntimeError):
     """
 
 
+class CrossShardError(ReproError, RuntimeError):
+    """Raised when an operation cannot be routed across shards.
+
+    A multi-key operation whose keys live on different shards needs a
+    cross-shard plan (a prepare/commit decomposition declared by its data
+    type) and must be issued *strongly* — each staged sub-operation goes
+    through its owner shard's TOB so the paper's strong/weak split
+    survives sharding. Weak multi-shard operations and multi-key
+    operations without a plan are refused at the router.
+    """
+
+
 class DivergedOrderError(ReproError, AssertionError):
     """Raised when replicas disagree on the total-order-broadcast prefix.
 

@@ -43,9 +43,25 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TYPE_CHECKING,
+    Union,
+)
 
-from repro.analysis.workload import PROFILES, RandomWorkload, WorkloadProfile
+from repro.analysis.workload import (
+    KEYED_PROFILES,
+    PROFILES,
+    RandomWorkload,
+    WorkloadProfile,
+    make_sampler,
+)
 from repro.core.cluster import ORIGINAL, BayouCluster
 from repro.core.config import BayouConfig
 from repro.core.request import Dot
@@ -67,6 +83,9 @@ from repro.net.faults import (
 )
 from repro.net.partition import PartitionSchedule
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.scenario import ShardedLiveRun, ShardedRunResult
+
 
 @dataclass
 class _ScriptedOp:
@@ -85,6 +104,7 @@ class _WorkloadSpec:
     ops_per_session: int
     think_time: float
     seed: int
+    sessions: Optional[int] = None
 
 
 class ScenarioClient:
@@ -144,12 +164,23 @@ class Scenario:
         self._datatype = datatype
         self._protocol = ORIGINAL
         self._config_kwargs: Dict[str, Any] = {}
+        self._n_shards: Optional[int] = None
+        self._partitioner: Optional[Any] = None
         self._clock_offsets: Dict[int, float] = {}
         self._clock_rates: Dict[int, float] = {}
         self._exec_overrides: Dict[int, float] = {}
-        self._partition_events: List[Tuple[str, float, Any]] = []
-        self._crash_plans: List[Tuple[int, float, Optional[float], Optional[str]]] = []
-        self._filter_builders: List[Callable[[MessageFilter], None]] = []
+        #: (kind, at, groups, shard) — shard is None outside sharded mode
+        #: (and means "every shard" inside it).
+        self._partition_events: List[Tuple[str, float, Any, Optional[int]]] = []
+        #: (pid, at, recover_at, mode, shard).
+        self._crash_plans: List[
+            Tuple[int, float, Optional[float], Optional[str], Optional[int]]
+        ] = []
+        #: (builder, shard) — shard is None outside sharded mode (and
+        #: means "every shard" inside it).
+        self._filter_builders: List[
+            Tuple[Callable[[MessageFilter], None], Optional[int]]
+        ] = []
         self._scripted: List[_ScriptedOp] = []
         self._clients: List[ScenarioClient] = []
         self._workloads: List[_WorkloadSpec] = []
@@ -175,6 +206,23 @@ class Scenario:
     def protocol(self, protocol: str) -> "Scenario":
         """Choose ``"original"`` (Algorithm 1) or ``"modified"`` (Algorithm 2)."""
         self._protocol = protocol
+        return self
+
+    def shards(self, n: int, *, partitioner: Optional[Any] = None) -> "Scenario":
+        """Deploy ``n`` independent Bayou shards over a partitioned keyspace.
+
+        Each shard is a full cluster (``.replicas(k)`` replicas *per
+        shard*) on one shared simulator; operations route to the shard
+        owning their keys (``partitioner`` defaults to the stable
+        :class:`~repro.shard.partitioner.HashPartitioner`). ``run()``
+        then returns a :class:`~repro.shard.scenario.ShardedRunResult`.
+        ``.partition()``/``.heal()``/``.crash()`` accept a ``shard=``
+        scope in this mode.
+        """
+        if n < 1:
+            raise ValueError(f"shards(n) needs n >= 1, got {n}")
+        self._n_shards = n
+        self._partitioner = partitioner
         return self
 
     def tob(self, engine: str, *, sequencer: Optional[int] = None) -> "Scenario":
@@ -258,14 +306,25 @@ class Scenario:
     # ------------------------------------------------------------------
     # Faults
     # ------------------------------------------------------------------
-    def partition(self, at: float, groups: Sequence[Sequence[int]]) -> "Scenario":
-        """Split the network into ``groups`` at time ``at``."""
-        self._partition_events.append(("split", at, groups))
+    def partition(
+        self,
+        at: float,
+        groups: Sequence[Sequence[int]],
+        *,
+        shard: Optional[int] = None,
+    ) -> "Scenario":
+        """Split the network into ``groups`` at time ``at``.
+
+        In a sharded scenario ``shard`` scopes the split to one shard's
+        internal network (shards are independent consensus groups, each
+        with its own links); None partitions every shard identically.
+        """
+        self._partition_events.append(("split", at, groups, shard))
         return self
 
-    def heal(self, at: float) -> "Scenario":
-        """Restore full connectivity at time ``at``."""
-        self._partition_events.append(("heal", at, None))
+    def heal(self, at: float, *, shard: Optional[int] = None) -> "Scenario":
+        """Restore full connectivity at time ``at`` (optionally one shard)."""
+        self._partition_events.append(("heal", at, None, shard))
         return self
 
     def crash(
@@ -275,6 +334,7 @@ class Scenario:
         *,
         recover_at: Optional[float] = None,
         mode: Optional[str] = None,
+        shard: Optional[int] = None,
     ) -> "Scenario":
         """Crash replica ``pid`` at time ``at``.
 
@@ -282,9 +342,11 @@ class Scenario:
         component reloads what it persisted to the configured
         :meth:`durability` backend and catches up with the survivors);
         without it the crash is permanent (the paper's crash-stop model).
-        ``mode`` overrides the inferred :meth:`Process.crash` mode.
+        ``mode`` overrides the inferred :meth:`Process.crash` mode. In a
+        sharded scenario ``shard`` names the shard whose replica ``pid``
+        crashes (None: replica ``pid`` of *every* shard).
         """
-        self._crash_plans.append((pid, at, recover_at, mode))
+        self._crash_plans.append((pid, at, recover_at, mode, shard))
         return self
 
     def durability(
@@ -302,36 +364,62 @@ class Scenario:
             self._config_kwargs["durability_dir"] = directory
         return self
 
-    def filter(self, rule: FilterRule) -> "Scenario":
-        """Install a raw message-filter rule (drop/delay by inspection)."""
-        self._filter_builders.append(lambda filters: filters.add(rule))
+    def filter(
+        self, rule: FilterRule, *, shard: Optional[int] = None
+    ) -> "Scenario":
+        """Install a raw message-filter rule (drop/delay by inspection).
+
+        In a sharded scenario ``shard`` scopes the rule to one shard's
+        network; None installs it on every shard. Rules may be stateful
+        (e.g. "drop the first 3"): each shard compiles its *own*
+        :class:`MessageFilter`, so per-rule state is per shard.
+        """
+        self._filter_builders.append((lambda filters: filters.add(rule), shard))
         return self
 
-    def tob_extra_delay(self, extra: float, *, tag: str = "seqtob") -> "Scenario":
+    def tob_extra_delay(
+        self, extra: float, *, tag: str = "seqtob", shard: Optional[int] = None
+    ) -> "Scenario":
         """Add ``extra`` latency to every TOB-engine message (slow consensus)."""
-        return self.filter(tob_delay_rule(extra, tag=tag))
+        return self.filter(tob_delay_rule(extra, tag=tag), shard=shard)
 
     def delay_tob_for_dot(
-        self, dot: Dot, *, receiver: int, extra: float, tag: str = "seqtob"
+        self,
+        dot: Dot,
+        *,
+        receiver: int,
+        extra: float,
+        tag: str = "seqtob",
+        shard: Optional[int] = None,
     ) -> "Scenario":
         """Delay only TOB-engine messages about ``dot`` into ``receiver``.
 
         Used to steer the final order: e.g. hold a request's proposal back
-        from the sequencer so later requests commit first.
+        from the sequencer so later requests commit first. In sharded
+        scenarios pass ``shard``: dots are per-cluster ``(pid, n)`` pairs,
+        so the same dot exists independently in every shard.
         """
         return self.filter(
-            delay_tob_for_dot_rule(dot, receiver=receiver, extra=extra, tag=tag)
+            delay_tob_for_dot_rule(dot, receiver=receiver, extra=extra, tag=tag),
+            shard=shard,
         )
 
     def quarantine_dot(
-        self, dot: Dot, *, receiver: int, extra: float
+        self,
+        dot: Dot,
+        *,
+        receiver: int,
+        extra: float,
+        shard: Optional[int] = None,
     ) -> "Scenario":
         """Delay every message carrying ``dot`` into ``receiver``.
 
         Models the Theorem-1 adversary: a replica must not learn about an
         event (by any route — RB, relay, or TOB delivery) until late.
         """
-        return self.filter(quarantine_dot_rule(dot, receiver=receiver, extra=extra))
+        return self.filter(
+            quarantine_dot_rule(dot, receiver=receiver, extra=extra), shard=shard
+        )
 
     # ------------------------------------------------------------------
     # Workload
@@ -375,19 +463,43 @@ class Scenario:
         think_time: float = 0.5,
         seed: int = 0,
         strong_probability: Optional[float] = None,
+        keys: Optional[Sequence[Any]] = None,
+        key_skew: str = "uniform",
+        zipf_s: float = 1.1,
+        sessions: Optional[int] = None,
     ) -> "Scenario":
-        """Drive a random closed-loop workload (one session per replica)."""
+        """Drive a random closed-loop workload (one session per replica).
+
+        ``keys``/``key_skew`` build a keyed profile (``"kv"``/``"bank"``
+        only): operations draw their keys from ``keys`` under the named
+        skew (``"uniform"`` or ``"zipf"`` with exponent ``zipf_s``) — the
+        shared generator behind E12's sharded sweeps. ``sessions``
+        overrides the client count (default: one per replica index).
+        """
         if isinstance(profile, str):
+            kwargs: Dict[str, Any] = {}
             if strong_probability is not None:
-                profile = PROFILES[profile](strong_probability=strong_probability)
-            else:
-                profile = PROFILES[profile]()
-        elif strong_probability is not None:
-            profile = dataclasses.replace(
-                profile, strong_probability=strong_probability
-            )
+                kwargs["strong_probability"] = strong_probability
+            if keys is not None:
+                if profile not in KEYED_PROFILES:
+                    raise ValueError(
+                        f"profile {profile!r} is not keyed; keys/key_skew "
+                        f"apply to {sorted(KEYED_PROFILES)}"
+                    )
+                kwargs["sampler"] = make_sampler(keys, key_skew, zipf_s=zipf_s)
+            profile = PROFILES[profile](**kwargs)
+        else:
+            if keys is not None:
+                raise ValueError(
+                    "keys/key_skew only apply to named profiles; build the "
+                    "KeySampler into your WorkloadProfile instead"
+                )
+            if strong_probability is not None:
+                profile = dataclasses.replace(
+                    profile, strong_probability=strong_probability
+                )
         self._workloads.append(
-            _WorkloadSpec(profile, ops_per_session, think_time, seed)
+            _WorkloadSpec(profile, ops_per_session, think_time, seed, sessions)
         )
         return self
 
@@ -439,10 +551,7 @@ class Scenario:
     # ------------------------------------------------------------------
     # Compilation and running
     # ------------------------------------------------------------------
-    def build(self) -> "LiveRun":
-        """Compile to a live cluster with everything scheduled."""
-        if self._datatype is None:
-            raise ValueError("Scenario needs a datatype (pass one or .datatype())")
+    def _compile_config(self) -> BayouConfig:
         kwargs = dict(self._config_kwargs)
         # Merge into copies: never mutate dicts the caller handed to
         # .config(), so one Scenario cannot bleed drift into another.
@@ -455,27 +564,65 @@ class Scenario:
                 merged = dict(kwargs.get(key, {}))
                 merged.update(extra)
                 kwargs[key] = merged
-        config = BayouConfig(**kwargs)
+        return BayouConfig(**kwargs)
+
+    def _compile_filters(
+        self, shard: Optional[int] = None
+    ) -> Optional[MessageFilter]:
+        """A fresh MessageFilter for one deployment target.
+
+        ``shard`` is None for unsharded builds (any shard-scoped rule is
+        an error there); in sharded builds every shard gets its own
+        instance carrying the unscoped rules plus its scoped ones, so
+        stateful rules never share state across shards.
+        """
+        selected = []
+        for build_filter, rule_shard in self._filter_builders:
+            if shard is None and rule_shard is not None:
+                raise ValueError(
+                    "filter(..., shard=...) needs a sharded scenario "
+                    "(call .shards(n) first)"
+                )
+            if rule_shard is None or rule_shard == shard:
+                selected.append(build_filter)
+        if not selected:
+            return None
+        filters = MessageFilter()
+        for build_filter in selected:
+            build_filter(filters)
+        return filters
+
+    def build(self) -> Union["LiveRun", "ShardedLiveRun"]:
+        """Compile to a live cluster (or sharded deployment), scheduled."""
+        if self._datatype is None:
+            raise ValueError("Scenario needs a datatype (pass one or .datatype())")
+        if self._n_shards is not None:
+            return self._build_sharded()
+        config = self._compile_config()
 
         partitions = None
         if self._partition_events:
             partitions = PartitionSchedule(config.n_replicas)
-            for kind, at, groups in self._partition_events:
+            for kind, at, groups, shard in self._partition_events:
+                if shard is not None:
+                    raise ValueError(
+                        "partition(..., shard=...) needs a sharded scenario "
+                        "(call .shards(n) first)"
+                    )
                 if kind == "split":
                     partitions.split(at, groups)
                 else:
                     partitions.heal(at)
 
-        filters = None
-        if self._filter_builders:
-            filters = MessageFilter()
-            for build_filter in self._filter_builders:
-                build_filter(filters)
-
         crashes = None
         if self._crash_plans:
             crashes = CrashSchedule()
-            for pid, at, recover_at, mode in self._crash_plans:
+            for pid, at, recover_at, mode, shard in self._crash_plans:
+                if shard is not None:
+                    raise ValueError(
+                        "crash(..., shard=...) needs a sharded scenario "
+                        "(call .shards(n) first)"
+                    )
                 crashes.add(pid, at, recover_at, mode=mode)
 
         cluster = BayouCluster(
@@ -483,10 +630,56 @@ class Scenario:
             config,
             protocol=self._protocol,
             partitions=partitions,
-            filters=filters,
+            filters=self._compile_filters(),
             crashes=crashes,
         )
         return LiveRun(self, cluster)
+
+    def _build_sharded(self) -> "ShardedLiveRun":
+        """Compile to N shards on one simulator, faults scoped per shard."""
+        from repro.shard.deployment import ShardedCluster
+        from repro.shard.scenario import ShardedLiveRun
+
+        config = self._compile_config()
+        n_shards = self._n_shards
+        assert n_shards is not None
+
+        partitions: Dict[int, PartitionSchedule] = {}
+        for kind, at, groups, shard in self._partition_events:
+            targets = range(n_shards) if shard is None else (shard,)
+            for target in targets:
+                schedule = partitions.setdefault(
+                    target, PartitionSchedule(config.n_replicas)
+                )
+                if kind == "split":
+                    schedule.split(at, groups)
+                else:
+                    schedule.heal(at)
+
+        crashes: Dict[int, CrashSchedule] = {}
+        for pid, at, recover_at, mode, shard in self._crash_plans:
+            targets = range(n_shards) if shard is None else (shard,)
+            for target in targets:
+                crashes.setdefault(target, CrashSchedule()).add(
+                    pid, at, recover_at, mode=mode
+                )
+
+        filters: Dict[int, MessageFilter] = {}
+        for index in range(n_shards):
+            compiled = self._compile_filters(index)
+            if compiled is not None:
+                filters[index] = compiled
+        deployment = ShardedCluster(
+            self._datatype,
+            config,
+            n_shards=n_shards,
+            partitioner=self._partitioner,
+            protocol=self._protocol,
+            partitions=partitions or None,
+            filters=filters or None,
+            crashes=crashes or None,
+        )
+        return ShardedLiveRun(self, deployment)
 
     def run(
         self,
@@ -494,7 +687,7 @@ class Scenario:
         until: Optional[float] = None,
         well_formed: bool = True,
         max_time: float = 100_000.0,
-    ) -> "RunResult":
+    ) -> "Union[RunResult, ShardedRunResult]":
         """Build, run to completion, probe, check — the one-call pipeline.
 
         With the Paxos engine the run goes through ``run_until_stable`` and
@@ -556,6 +749,7 @@ class LiveRun:
                 ops_per_session=spec.ops_per_session,
                 think_time=spec.think_time,
                 seed=spec.seed,
+                sessions=spec.sessions,
             )
             workload.start()
             self.workloads.append(workload)

@@ -1,0 +1,43 @@
+"""Sharded deployments: keyspace partitioning over many Bayou clusters.
+
+The shard layer runs N independent Bayou consensus groups (one
+:class:`~repro.core.cluster.BayouCluster` each) on one shared simulator
+and gives clients a single keyspace-wide surface:
+
+- :class:`ShardMap` / :class:`HashPartitioner` / :class:`RangePartitioner`
+  — deterministic key → shard placement;
+- :class:`ShardedCluster` — the deployment (shard-scoped partitions,
+  crashes and convergence);
+- :class:`ShardRouter` / :class:`ShardedSession` — shard-routed
+  submission and closed-loop sessions;
+- :class:`CrossShardCoordinator` / :class:`CrossShardFuture` — strong
+  multi-key operations staged as prepare/commit pairs through each owner
+  shard's TOB.
+
+Fluent entry point: ``Scenario(...).shards(n, partitioner=...)``.
+"""
+
+from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
+from repro.shard.deployment import ShardedCluster
+from repro.shard.partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    ShardMap,
+)
+from repro.shard.router import ShardedSession, ShardRouter
+from repro.shard.scenario import ShardedLiveRun, ShardedRunResult
+
+__all__ = [
+    "CrossShardCoordinator",
+    "CrossShardFuture",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedCluster",
+    "ShardedLiveRun",
+    "ShardedRunResult",
+    "ShardedSession",
+]

@@ -1,0 +1,218 @@
+"""Cross-shard strong operations: client-side prepare/commit staging.
+
+A multi-key operation whose keys live on different shards cannot execute
+inside a single TOB. The :class:`CrossShardCoordinator` stages it from
+the data type's :class:`~repro.datatypes.base.CrossShardPlan` instead:
+
+1. every *prepare* sub-operation (the guarded steps — e.g. a transfer's
+   debit) is submitted **strongly** through its owner shard's TOB;
+2. when the last prepare stabilises, ``plan.decide(prepare_values)``
+   fixes the outcome — the :class:`CrossShardFuture` responds with the
+   plan's combined return value;
+3. on success the *commit* sub-operations (the credit) are submitted
+   strongly to their owner shards; on failure the *abort* compensations.
+   The future stabilises once every staged sub-operation has.
+
+The paper's strong/weak split therefore survives sharding: each staged
+sub-operation holds a final TOB position on its shard, and per-key
+invariants are enforced by the shard that owns the key. What the
+coordinator does **not** give is cross-shard atomic visibility — between
+the prepare and commit TOB positions a weak read may observe the moved
+quantity "in flight" (E12 measures this as staleness); conservation
+holds again at quiescence.
+
+The parent operation never appears in any shard's history — shard
+histories record the staged sub-operations, the parent lives only in its
+future (``RunResult.responses`` still carries it by label).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.core.session import FUTURE_RESPONDED, OpFuture
+from repro.datatypes.base import CrossShardPlan, Operation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.router import ShardRouter
+
+
+class CrossShardFuture(OpFuture):
+    """The client-side handle of one staged cross-shard operation.
+
+    Same ``pending → responded → stable`` lifecycle as every
+    :class:`OpFuture`; ``dot`` stays None (the parent holds no single
+    position — its sub-operations each hold one on their shard).
+    """
+
+    def __init__(self, op: Operation, *, pid: int = -1) -> None:
+        super().__init__(op, strong=True, pid=pid)
+        #: Futures of the staged prepare sub-operations, in plan order.
+        self.prepare_futures: List[OpFuture] = []
+        #: Futures of the staged commit (or abort) sub-operations.
+        self.commit_futures: List[OpFuture] = []
+        #: Whether ``plan.decide`` judged the prepares successful.
+        self.committed: Optional[bool] = None
+        #: Second-phase sub-operations not yet stable (set at decision).
+        self._pending_subs = 0
+
+    def _respond(self, value, at: float) -> None:
+        """Record the decided response (no wire request to attach)."""
+        if self.done:
+            return
+        self._value = value
+        self.response_time = at
+        self.state = FUTURE_RESPONDED
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class CrossShardCoordinator:
+    """Stages cross-shard plans through the router's shards."""
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self.router = router
+        #: Total cross-shard operations staged (for experiment reports).
+        self.staged_count = 0
+        #: How many of them decided to commit / to abort.
+        self.committed_count = 0
+        self.aborted_count = 0
+        #: Sub-operations whose owner shard crash-stopped entirely — they
+        #: can never execute, so their plan never completes (the parent
+        #: future stays un-stable, like a refused session future).
+        self.lost_count = 0
+
+    def stage(
+        self,
+        op: Operation,
+        plan: CrossShardPlan,
+        *,
+        pid: int = 0,
+        future: Optional[CrossShardFuture] = None,
+    ) -> CrossShardFuture:
+        """Stage ``op`` per ``plan``; returns its cross-shard future.
+
+        ``pid`` is the *preferred* replica index inside each owner shard
+        (shards share one replica-count, so the index is portable). The
+        coordinator is crash-resilient the way a real client is: a staged
+        sub-operation whose preferred replica is down fails over to a
+        live replica of the owner shard; if the whole shard is down it is
+        deferred until a replica recovers. Only a shard that crash-
+        stopped *entirely* defeats the plan — the sub-operation is
+        counted in :attr:`lost_count` and the parent future never
+        completes its phase (durably journaling staged plans so they
+        survive coordinator loss is a ROADMAP open item).
+        """
+        self.staged_count += 1
+        if future is None:
+            future = CrossShardFuture(op, pid=pid)
+        future._mark_invoked(None, self.router.sim.now)
+        if not plan.prepare:
+            # Nothing can fail: decide straight away (commits still staged
+            # on their own simulation steps through each shard's pipeline).
+            self._decide(future, plan)
+            return future
+        remaining = [len(plan.prepare)]
+
+        def on_prepared(sub_future: OpFuture) -> None:
+            future.prepare_futures.append(sub_future)
+            sub_future.add_stable_callback(
+                lambda _f: self._count_down(remaining, future, plan)
+            )
+
+        for sub in plan.prepare:
+            self._submit_resilient(sub.key, sub.op, pid=pid, deliver=on_prepared)
+        return future
+
+    def _submit_resilient(
+        self,
+        key,
+        op: Operation,
+        *,
+        pid: int,
+        deliver,
+    ) -> None:
+        """Submit one staged sub-operation, surviving owner-shard crashes.
+
+        Tries the preferred replica, fails over to any live replica of
+        the owner shard, and — when every replica is down but at least
+        one can recover — re-tries at the next recovery. ``deliver`` is
+        called with the sub-operation's future once it was accepted
+        (possibly much later, after a recovery).
+        """
+        shard_index = self.router.shard_map.owner(key)
+        cluster = self.router.deployment.shards[shard_index]
+        candidates = [pid] + [
+            replica
+            for replica in range(cluster.config.n_replicas)
+            if replica != pid
+        ]
+        for candidate in candidates:
+            if not cluster.nodes[candidate].crashed:
+                self.router.routed_counts[shard_index] += 1
+                deliver(cluster.submit(candidate, op, strong=True))
+                return
+        recoverable = [
+            node for node in cluster.nodes if node.crash_mode == "recover"
+        ]
+        if recoverable:
+            # One-shot: crash hooks persist and re-fire at every later
+            # recovery of the node, but the sub-operation must be staged
+            # exactly once.
+            fired = [False]
+
+            def retry() -> None:
+                if fired[0]:
+                    return
+                fired[0] = True
+                self._submit_resilient(key, op, pid=pid, deliver=deliver)
+
+            recoverable[0].register_crash_hooks(on_recover=retry)
+            return
+        self.lost_count += 1
+
+    def _count_down(
+        self,
+        remaining: List[int],
+        future: CrossShardFuture,
+        plan: CrossShardPlan,
+    ) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            self._decide(future, plan)
+
+    def _decide(self, future: CrossShardFuture, plan: CrossShardPlan) -> None:
+        """All prepares stable: fix the outcome, stage the second phase.
+
+        The parent responds at the decision and stabilises once every
+        second-phase sub-operation has (prepares are strong, hence
+        already stable when this runs); a deferred sub-operation keeps
+        the parent un-stable until its shard recovered and committed it.
+        """
+        values = tuple(sub.value for sub in future.prepare_futures)
+        success, rval = plan.decide(values)
+        future.committed = success
+        if success:
+            self.committed_count += 1
+        else:
+            self.aborted_count += 1
+        batch = plan.commit if success else plan.abort
+        future._pending_subs = len(batch)
+
+        def on_staged(sub_future: OpFuture) -> None:
+            future.commit_futures.append(sub_future)
+            sub_future.add_stable_callback(lambda _f: self._sub_stable(future))
+
+        for sub in batch:
+            self._submit_resilient(
+                sub.key, sub.op, pid=future.pid, deliver=on_staged
+            )
+        future._respond(rval, self.router.sim.now)
+        if future._pending_subs == 0:
+            future._mark_stable(self.router.sim.now)
+
+    def _sub_stable(self, future: CrossShardFuture) -> None:
+        future._pending_subs -= 1
+        if future._pending_subs == 0:
+            future._mark_stable(self.router.sim.now)

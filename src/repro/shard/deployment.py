@@ -1,0 +1,152 @@
+"""Sharded deployments: N independent Bayou clusters, one simulator.
+
+A :class:`ShardedCluster` runs ``n_shards`` full
+:class:`~repro.core.cluster.BayouCluster` stacks — each with its own
+network, partition schedule, crash schedule, dissemination substrate and
+TOB engine — on one shared :class:`~repro.sim.kernel.Simulator`, so all
+shards advance on a single deterministic clock and one
+``run_until_quiescent`` drains the whole deployment.
+
+Shards are *independent consensus groups*: shard-local faults (a
+partition inside shard 2, a crashed replica of shard 0) never touch the
+other shards' histories, which the routing-determinism tests assert.
+Cross-shard coupling exists only at the client layer — the
+:class:`~repro.shard.router.ShardRouter` and its cross-shard coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
+
+from repro.core.cluster import ORIGINAL, BayouCluster
+from repro.core.config import BayouConfig
+from repro.datatypes.base import DataType
+from repro.net.faults import CrashSchedule, MessageFilter
+from repro.net.partition import PartitionSchedule
+from repro.shard.partitioner import Partitioner, ShardMap
+from repro.sim.kernel import Simulator
+
+
+class ShardedCluster:
+    """``n_shards`` Bayou clusters over one shared simulator."""
+
+    def __init__(
+        self,
+        datatype: DataType,
+        config: Optional[BayouConfig] = None,
+        *,
+        n_shards: int,
+        partitioner: Optional[Partitioner] = None,
+        protocol: str = ORIGINAL,
+        partitions: Optional[Dict[int, PartitionSchedule]] = None,
+        filters: Optional[Dict[int, MessageFilter]] = None,
+        crashes: Optional[Dict[int, CrashSchedule]] = None,
+    ) -> None:
+        self.datatype = datatype
+        self.config = config or BayouConfig()
+        self.protocol = protocol
+        self.shard_map = ShardMap(n_shards, partitioner)
+        self.sim = Simulator()
+        self.shards: List[BayouCluster] = []
+        for index in range(n_shards):
+            self.shards.append(
+                BayouCluster(
+                    datatype,
+                    self._shard_config(index),
+                    protocol=protocol,
+                    partitions=(partitions or {}).get(index),
+                    filters=(filters or {}).get(index),
+                    crashes=(crashes or {}).get(index),
+                    sim=self.sim,
+                    name=f"S{index}",
+                )
+            )
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards
+
+    def _shard_config(self, index: int) -> BayouConfig:
+        """This shard's :class:`BayouConfig` — a copy of the deployment's.
+
+        Two fields are specialised per shard: a ``jsonl`` durability root
+        (shards must not share one write-ahead directory — node 0 of shard
+        0 and node 0 of shard 1 would silently merge their logs) and
+        nothing else — identical seeds give identical latency streams in
+        every shard, which keeps cross-shard comparisons apples-to-apples.
+        """
+        config = replace(self.config)
+        if config.durability == "jsonl" and config.durability_dir is not None:
+            config = replace(
+                config,
+                durability_dir=os.path.join(
+                    config.durability_dir, f"shard{index}"
+                ),
+            )
+        return config
+
+    # ------------------------------------------------------------------
+    # Shard access and fault scoping
+    # ------------------------------------------------------------------
+    def shard(self, index: int) -> BayouCluster:
+        """The underlying cluster of one shard."""
+        return self.shards[index]
+
+    def owner_of(self, key: Any) -> int:
+        """The shard owning ``key`` (deterministic under the seed)."""
+        return self.shard_map.owner(key)
+
+    def crash_replica(self, shard: int, pid: int, mode: str = "recover") -> None:
+        """Crash replica ``pid`` *of one shard* right now."""
+        self.shards[shard].crash_replica(pid, mode)
+
+    def recover_replica(self, shard: int, pid: int) -> None:
+        """Recover a crashed replica of one shard."""
+        self.shards[shard].recover_replica(pid)
+
+    # ------------------------------------------------------------------
+    # Running (mirrors BayouCluster, quantified over every shard)
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until=until)
+
+    def run_until_quiescent(self) -> float:
+        return self.sim.run_until_quiescent()
+
+    def run_until_stable(
+        self, *, max_time: float = 100_000.0, check_every: float = 50.0
+    ) -> bool:
+        """Run until *every* shard converged-and-idle (for Paxos engines)."""
+        while self.sim.now < max_time:
+            self.sim.run(until=self.sim.now + check_every)
+            if self.converged() and self.sim.pending_events == 0:
+                return True
+            if self.converged() and all(
+                shard._only_periodic_work_left() for shard in self.shards
+            ):
+                return True
+        return self.converged()
+
+    def shutdown(self) -> None:
+        for shard in self.shards:
+            shard.shutdown()
+
+    # ------------------------------------------------------------------
+    # Convergence
+    # ------------------------------------------------------------------
+    def converged(self) -> bool:
+        """Every shard's live replicas agree (shards are independent, so
+        deployment convergence is the conjunction of shard convergence)."""
+        return all(shard.converged() for shard in self.shards)
+
+    def convergence_report(self) -> Dict[str, Any]:
+        """Aggregate + per-shard convergence diagnostics."""
+        per_shard = [shard.convergence_report() for shard in self.shards]
+        return {
+            "converged": all(report["converged"] for report in per_shard),
+            "n_shards": self.n_shards,
+            "placement": self.shard_map.describe(),
+            "shards": per_shard,
+        }

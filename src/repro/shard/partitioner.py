@@ -1,0 +1,139 @@
+"""Keyspace partitioning: deterministic key → shard placement.
+
+A :class:`ShardMap` assigns every key of a keyed data type to exactly one
+shard (one independent Bayou cluster). Placement must be a pure function
+of ``(seed, partitioner, n_shards)`` — the simulation's determinism
+guarantee extends to routing, so the same scenario replayed under the
+same seed sends every operation to the same shard.
+
+Two partitioners ship:
+
+- :class:`HashPartitioner` — keys are hashed with a *stable* digest
+  (SHA-256 over the seed and the key's repr; Python's builtin ``hash`` is
+  salted per process and would break cross-run determinism) and placed
+  modulo the shard count. Uniform keys spread uniformly.
+- :class:`RangePartitioner` — sorted split points divide the (ordered)
+  key universe into contiguous ranges, shard ``i`` owning the keys below
+  boundary ``i``. Range scans stay shard-local; skewed key traffic shows
+  up as shard hotspots, which E12 measures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+
+class Partitioner:
+    """Maps a key to a shard index in ``[0, n_shards)``."""
+
+    def owner(self, key: Hashable, n_shards: int) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A short human-readable tag for reports."""
+        return type(self).__name__
+
+
+class HashPartitioner(Partitioner):
+    """Stable-hash placement: ``sha256(seed:repr(key)) mod n_shards``."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def owner(self, key: Hashable, n_shards: int) -> int:
+        digest = hashlib.sha256(
+            f"{self.seed}:{key!r}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % n_shards
+
+    def describe(self) -> str:
+        return f"hash(seed={self.seed})"
+
+
+class RangePartitioner(Partitioner):
+    """Contiguous-range placement over an ordered key universe.
+
+    ``boundaries`` are the sorted upper split points: shard 0 owns keys
+    strictly below ``boundaries[0]``, shard ``i`` the keys in
+    ``[boundaries[i-1], boundaries[i])``, and the last shard everything
+    from the final boundary up. With ``n_shards`` shards exactly
+    ``n_shards - 1`` boundaries are consulted; surplus boundaries are an
+    error caught at :class:`ShardMap` construction.
+    """
+
+    def __init__(self, boundaries: Sequence[Any]) -> None:
+        ordered = list(boundaries)
+        if ordered != sorted(ordered):
+            raise ValueError(f"range boundaries must be sorted, got {ordered!r}")
+        if len(set(map(repr, ordered))) != len(ordered):
+            raise ValueError(f"range boundaries must be distinct, got {ordered!r}")
+        self.boundaries: List[Any] = ordered
+
+    def owner(self, key: Hashable, n_shards: int) -> int:
+        index = bisect_right(self.boundaries, key)
+        return min(index, n_shards - 1)
+
+    def describe(self) -> str:
+        return f"range({self.boundaries!r})"
+
+
+class ShardMap:
+    """The key → shard placement of one sharded deployment.
+
+    Wraps a :class:`Partitioner` with the deployment's shard count plus
+    the routing conventions shared by every caller:
+
+    - *unkeyed* operations (``DataType.keys_of`` returns ``()``) live on
+      the **home shard** (shard 0) — an unkeyed type's whole state is one
+      unit and cannot be split;
+    - multi-key operations map to the *set* of owner shards; one owner
+      means the operation is shard-local (and atomic there), several mean
+      it needs a cross-shard plan.
+    """
+
+    HOME_SHARD = 0
+
+    def __init__(
+        self, n_shards: int, partitioner: Optional[Partitioner] = None
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if (
+            isinstance(partitioner, RangePartitioner)
+            and len(partitioner.boundaries) >= n_shards
+        ):
+            raise ValueError(
+                f"{len(partitioner.boundaries)} range boundaries define "
+                f"{len(partitioner.boundaries) + 1} ranges but the "
+                f"deployment has only {n_shards} shards"
+            )
+        self.n_shards = n_shards
+        self.partitioner = partitioner if partitioner is not None else HashPartitioner()
+
+    def owner(self, key: Hashable) -> int:
+        """The shard owning ``key``."""
+        shard = self.partitioner.owner(key, self.n_shards)
+        if not (0 <= shard < self.n_shards):
+            raise ValueError(
+                f"partitioner placed key {key!r} on shard {shard} "
+                f"(valid: 0..{self.n_shards - 1})"
+            )
+        return shard
+
+    def owners(self, keys: Iterable[Hashable]) -> Tuple[int, ...]:
+        """The distinct owner shards of ``keys``, in first-seen order."""
+        seen: List[int] = []
+        for key in keys:
+            shard = self.owner(key)
+            if shard not in seen:
+                seen.append(shard)
+        return tuple(seen)
+
+    def placement(self, keys: Iterable[Hashable]) -> Tuple[Tuple[Any, int], ...]:
+        """``(key, owner)`` pairs — the routing table over a key universe."""
+        return tuple((key, self.owner(key)) for key in keys)
+
+    def describe(self) -> str:
+        return f"{self.n_shards} shards, {self.partitioner.describe()}"

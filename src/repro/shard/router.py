@@ -1,0 +1,303 @@
+"""Shard routing: one keyspace-wide client surface over many shards.
+
+The :class:`ShardRouter` hides the shard boundary from clients. It
+resolves every typed operation's keys (``DataType.keys_of``) against the
+deployment's :class:`~repro.shard.partitioner.ShardMap` and
+
+- submits shard-local operations (one owner shard, or unkeyed → home
+  shard) directly to the owner's :class:`~repro.core.cluster.BayouCluster`
+  — same pipeline, same :class:`~repro.core.session.OpFuture`;
+- stages multi-shard *strong* operations through the
+  :class:`~repro.shard.coordinator.CrossShardCoordinator`;
+- refuses multi-shard *weak* operations and plan-less multi-key types
+  with :class:`~repro.errors.CrossShardError` at the call site.
+
+:class:`ShardedSession` is the closed-loop facade: the same well-formed,
+one-outstanding-operation discipline as :class:`~repro.core.session.Session`,
+but each queued operation runs on whichever shard owns its keys. It
+duck-types the cluster surface :class:`~repro.analysis.workload.RandomWorkload`
+expects, so random keyed workloads drive sharded deployments unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.core.session import OpFuture, resolve_operation
+from repro.datatypes.base import Operation
+from repro.errors import CrossShardError
+from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
+from repro.shard.deployment import ShardedCluster
+
+
+class ShardRouter:
+    """Routes operations of one keyspace onto their owner shards."""
+
+    def __init__(self, deployment: ShardedCluster) -> None:
+        self.deployment = deployment
+        self.datatype = deployment.datatype
+        self.shard_map = deployment.shard_map
+        self.coordinator = CrossShardCoordinator(self)
+        #: Operations routed per shard (for skew/placement reports).
+        self.routed_counts: List[int] = [0] * deployment.n_shards
+
+    # -- cluster-surface compatibility (RandomWorkload, sessions) -------
+    @property
+    def sim(self):
+        return self.deployment.sim
+
+    @property
+    def config(self):
+        return self.deployment.config
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def owners_of(self, op: Operation) -> Tuple[int, ...]:
+        """The owner shards of ``op`` (home shard for unkeyed types)."""
+        keys = self.datatype.keys_of(op)
+        if not keys:
+            return (self.shard_map.HOME_SHARD,)
+        return self.shard_map.owners(keys)
+
+    def plan_route(self, op: Operation, *, strong: bool):
+        """Resolve ``op`` to ``(shard, plan)``: exactly one is not None.
+
+        Raises :class:`CrossShardError` for invalid multi-shard requests,
+        so misrouted operations fail at the call site — before anything
+        was staged anywhere.
+        """
+        owners = self.owners_of(op)
+        if len(owners) == 1:
+            return owners[0], None
+        if not strong:
+            raise CrossShardError(
+                f"{op!r} touches shards {sorted(owners)} but was issued "
+                "weak; cross-shard operations must be strong (each staged "
+                "sub-operation needs a final TOB position on its shard)"
+            )
+        plan = self.datatype.cross_shard_plan(op)
+        if plan is None:
+            raise CrossShardError(
+                f"{self.datatype.type_name} declares no cross-shard plan "
+                f"for {op!r} (keys span shards {sorted(owners)})"
+            )
+        return None, plan
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool = False,
+        future: Optional[OpFuture] = None,
+    ) -> OpFuture:
+        """Invoke ``op`` right now on whichever shard(s) own its keys.
+
+        ``pid`` is the replica index *inside* the owner shard (every shard
+        runs the same replica count, so the index is portable — a client
+        "near" replica 1 talks to replica 1 of every shard).
+        """
+        shard, plan = self.plan_route(op, strong=strong)
+        if plan is not None:
+            assert future is None or isinstance(future, CrossShardFuture)
+            return self.coordinator.stage(op, plan, pid=pid, future=future)
+        self.routed_counts[shard] += 1
+        return self.deployment.shards[shard].submit(
+            pid, op, strong=strong, future=future
+        )
+
+    def submit_to_owner(
+        self, key: Any, op: Operation, *, strong: bool, pid: int = 0
+    ) -> OpFuture:
+        """Submit one staged sub-operation directly to ``key``'s shard."""
+        shard = self.shard_map.owner(key)
+        self.routed_counts[shard] += 1
+        return self.deployment.shards[shard].submit(pid, op, strong=strong)
+
+    def connect(
+        self, pid: int = 0, *, think_time: float = 0.0, on_response=None
+    ) -> "ShardedSession":
+        """Open a closed-loop keyspace-wide session (replica index ``pid``)."""
+        return ShardedSession(
+            self, pid, think_time=think_time, on_response=on_response
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def query(self, op: Operation) -> Any:
+        """Execute a read-only ``op`` against the owner shard's replica 0
+        converged state (post-run assertions)."""
+        from repro.datatypes.base import PlainDb
+
+        shard, plan = self.plan_route(op, strong=True)
+        if plan is not None:
+            raise CrossShardError(f"cannot query a multi-shard op {op!r}")
+        cluster = self.deployment.shards[shard]
+        snapshot = PlainDb(cluster.replicas[0].state.snapshot())
+        return self.datatype.execute(op, snapshot)
+
+
+class _StrongShardProxy:
+    """``session.strong``: the same bound operations, issued strongly."""
+
+    def __init__(self, session: "ShardedSession") -> None:
+        self._session = session
+
+    def __getattr__(self, name: str):
+        return self._session._bound_operation(name, strong=True)
+
+
+class ShardedSession:
+    """A sequential client over the whole keyspace.
+
+    Mirrors :class:`~repro.core.session.Session` (closed loop, one
+    outstanding operation, typed proxies, think-time pacing); each
+    operation is routed to its owner shard at launch. Cross-shard strong
+    operations yield a :class:`CrossShardFuture` that responds at the
+    plan decision and stabilises with its last staged sub-operation.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        pid: int,
+        *,
+        think_time: float = 0.0,
+        on_response=None,
+    ) -> None:
+        self.router = router
+        self.pid = pid
+        self.think_time = think_time
+        self.on_response = on_response
+        self._queue: Deque[OpFuture] = deque()
+        self._outstanding: Optional[OpFuture] = None
+        self._pump_scheduled = False
+        self._ready_at = 0.0
+        self.completed = 0
+        self.latencies: List[float] = []
+        #: Every future this session ever issued, in submission order.
+        self.futures: List[OpFuture] = []
+        #: Futures refused because an owner replica crash-stopped.
+        self.refused: List[OpFuture] = []
+
+    # -- typed proxies ---------------------------------------------------
+    @property
+    def strong(self) -> _StrongShardProxy:
+        return _StrongShardProxy(self)
+
+    def _bound_operation(self, name: str, *, strong: bool):
+        constructor = resolve_operation(self.router.datatype, name)
+
+        def bound(*args: Any, strong: bool = strong, **kwargs: Any) -> OpFuture:
+            return self.submit(constructor(*args, **kwargs), strong=strong)
+
+        bound.__name__ = name
+        bound.__doc__ = constructor.__doc__
+        return bound
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self._bound_operation(name, strong=False)
+
+    # -- submission ------------------------------------------------------
+    def submit(self, op: Operation, strong: bool = False) -> OpFuture:
+        """Queue an operation; it runs when all earlier ones returned.
+
+        Routing is resolved *now* — invalid cross-shard requests raise at
+        the call site, and the resolved route rides on the future (routing
+        is deterministic, so launch-time recomputation could never
+        disagree; key hashing happens once per operation).
+        """
+        shard, plan = self.router.plan_route(op, strong=strong)
+        if plan is not None:
+            future: OpFuture = CrossShardFuture(op, pid=self.pid)
+        else:
+            future = OpFuture(op, strong=strong, pid=self.pid)
+        future._route = (shard, plan)
+        self._queue.append(future)
+        self.futures.append(future)
+        self._maybe_schedule_pump()
+        return future
+
+    @property
+    def idle(self) -> bool:
+        return self._outstanding is None and not self._queue
+
+    # -- the pump --------------------------------------------------------
+    def _maybe_schedule_pump(self) -> None:
+        if (
+            self._outstanding is not None
+            or self._pump_scheduled
+            or not self._queue
+        ):
+            return
+        delay = max(0.0, self._ready_at - self.router.sim.now)
+        self._pump_scheduled = True
+        self.router.sim.schedule(
+            delay, self._pump, label=f"sharded client {self.pid} next"
+        )
+
+    def _crashed_target_node(self, future: OpFuture):
+        """The crashed replica a *single-shard* head op targets (or None).
+
+        Cross-shard futures need no pre-check: the coordinator fails over
+        to live replicas and defers across whole-shard recoveries itself.
+        """
+        shard, plan = future._route
+        if plan is not None:
+            return None
+        node = self.router.deployment.shards[shard].nodes[self.pid]
+        return node if node.crashed else None
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if self._outstanding is not None or not self._queue:
+            return
+        node = self._crashed_target_node(self._queue[0])
+        if node is not None:
+            # Same contract as Session: a crash-recovery outage pauses the
+            # session until that replica returns; a crash-stop outage
+            # refuses everything still queued.
+            if node.crash_mode == "recover":
+                node.register_crash_hooks(on_recover=self._maybe_schedule_pump)
+                return
+            self.refused.extend(self._queue)
+            self._queue.clear()
+            return
+        self._launch(self._queue.popleft())
+
+    def _launch(self, future: OpFuture) -> None:
+        self._outstanding = future
+        shard, plan = future._route
+        if plan is not None:
+            self.router.coordinator.stage(
+                future.op, plan, pid=self.pid, future=future
+            )
+        else:
+            self.router.routed_counts[shard] += 1
+            self.router.deployment.shards[shard].submit(
+                self.pid, future.op, strong=future.strong, future=future
+            )
+        # Registered after the submission: the modified protocol responds
+        # to weak operations synchronously, in which case this callback
+        # fires immediately (``_outstanding`` is already set above).
+        future.add_done_callback(self._on_done)
+
+    def _on_done(self, future: OpFuture) -> None:
+        if future is not self._outstanding:
+            return
+        self._outstanding = None
+        latency = future.latency
+        self.latencies.append(latency)
+        self.completed += 1
+        self._ready_at = self.router.sim.now + self.think_time
+        if self.on_response is not None:
+            self.on_response(future.op, future.strong, future.rval, latency)
+        self._maybe_schedule_pump()

@@ -1,0 +1,264 @@
+"""Sharded scenario runs: LiveRun/RunResult counterparts for shards.
+
+``Scenario.shards(n, partitioner=...)`` switches the fluent builder onto
+this module: :meth:`Scenario.build` compiles to a
+:class:`~repro.shard.deployment.ShardedCluster` wrapped in a
+:class:`ShardedLiveRun`, and ``run()`` finishes into a
+:class:`ShardedRunResult` — the keyspace-wide merge of every shard's
+run: one label → future map across all shards (scripted invocations are
+shard-routed), per-shard histories and guarantee reports, and aggregate
+convergence/stability.
+
+Cross-shard strong operations appear in the merged futures under their
+label; their staged sub-operations appear in the owner shards'
+histories (the parent holds no single history position — see
+:mod:`repro.shard.coordinator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.analysis.workload import RandomWorkload
+from repro.core.session import OpFuture
+from repro.datatypes.base import Operation
+from repro.errors import ReplicaUnavailableError
+from repro.framework.builder import build_abstract_execution
+from repro.framework.guarantees import check_bec, check_fec, check_seq
+from repro.framework.history import History
+from repro.framework.predicates import check_ncc
+from repro.framework.session_guarantees import check_all_session_guarantees
+from repro.shard.deployment import ShardedCluster
+from repro.shard.router import ShardedSession, ShardRouter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario import Scenario
+
+
+class ShardedLiveRun:
+    """A compiled, running sharded scenario: the mid-flight handle."""
+
+    def __init__(self, scenario: "Scenario", deployment: ShardedCluster) -> None:
+        self.scenario = scenario
+        self.deployment = deployment
+        self.router = ShardRouter(deployment)
+        #: label -> future for every labelled scripted/client operation.
+        self.futures: Dict[str, OpFuture] = {}
+        #: label -> time of invocations refused at a crashed owner replica.
+        self.refused: Dict[str, float] = {}
+        self.sessions: List[ShardedSession] = []
+        self.workloads: List[RandomWorkload] = []
+        self._schedule_everything()
+
+    # -- wiring --------------------------------------------------------
+    def _schedule_everything(self) -> None:
+        for scripted in self.scenario._scripted:
+            self.deployment.sim.schedule_at(
+                scripted.at,
+                lambda s=scripted: self._fire_scripted(s),
+                label=f"scenario invoke @{scripted.pid} {scripted.op}",
+            )
+        for client in self.scenario._clients:
+            session = self.router.connect(
+                client.pid, think_time=client.think_time
+            )
+            self.sessions.append(session)
+            for op, strong, op_label in client.ops:
+                future = session.submit(op, strong=strong)
+                if op_label is not None:
+                    self.futures[op_label] = future
+        for spec in self.scenario._workloads:
+            workload = RandomWorkload(
+                self.router,
+                spec.profile,
+                ops_per_session=spec.ops_per_session,
+                think_time=spec.think_time,
+                seed=spec.seed,
+                sessions=spec.sessions,
+            )
+            workload.start()
+            self.workloads.append(workload)
+        for time, hook in self.scenario._hooks:
+            self.deployment.sim.schedule_at(
+                time, lambda h=hook: h(self), label="scenario hook"
+            )
+
+    def _fire_scripted(self, scripted) -> None:
+        try:
+            self.futures[scripted.label] = self.router.submit(
+                scripted.pid, scripted.op, strong=scripted.strong
+            )
+        except ReplicaUnavailableError:
+            self.refused[scripted.label] = self.deployment.sim.now
+
+    # -- driving -------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.deployment.sim.now
+
+    def submit(
+        self,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool = False,
+        label: Optional[str] = None,
+    ) -> OpFuture:
+        """Invoke right now (open loop, shard-routed)."""
+        if label is not None and (
+            label in self.futures or label in self.scenario._labels
+        ):
+            raise ValueError(f"duplicate scenario label {label!r}")
+        future = self.router.submit(pid, op, strong=strong)
+        if label is not None:
+            self.futures[label] = future
+        return future
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.deployment.run(until=until)
+
+    def run_until_quiescent(self) -> float:
+        return self.deployment.run_until_quiescent()
+
+    def run_until_stable(self, **kwargs: Any) -> bool:
+        return self.deployment.run_until_stable(**kwargs)
+
+    def settle(self, *, max_time: float = 100_000.0) -> None:
+        if self.deployment.config.tob_engine == "paxos":
+            self.deployment.run_until_stable(max_time=max_time)
+        else:
+            self.deployment.run_until_quiescent()
+
+    def shutdown(self) -> None:
+        self.deployment.shutdown()
+
+    def converged(self) -> bool:
+        return self.deployment.converged()
+
+    # -- finishing -----------------------------------------------------
+    def add_probes(self, *, max_time: float = 100_000.0) -> None:
+        """Issue the configured horizon probes on every shard."""
+        if self.scenario._probe_op is None:
+            return
+        for shard in self.deployment.shards:
+            shard.add_horizon_probes(
+                self.scenario._probe_op, spacing=self.scenario._probe_spacing
+            )
+        self.settle(max_time=max_time)
+
+    def finish(
+        self,
+        *,
+        well_formed: bool = True,
+        max_time: float = 100_000.0,
+        settle: bool = True,
+    ) -> "ShardedRunResult":
+        """Probe, freeze each shard's history, run the configured checks."""
+        if settle:
+            self.add_probes(max_time=max_time)
+            if self.deployment.config.tob_engine == "paxos":
+                self.shutdown()
+                self.deployment.run_until_quiescent()
+        histories = [
+            shard.build_history(well_formed=well_formed)
+            for shard in self.deployment.shards
+        ]
+        executions = [build_abstract_execution(h) for h in histories]
+        checks: Dict[str, List[Any]] = {}
+        session_guarantees: Optional[List[Dict[str, Any]]] = None
+        for kind, level in self.scenario._checks:
+            if kind == "fec":
+                checks[f"fec:{level}"] = [check_fec(x, level) for x in executions]
+            elif kind == "bec":
+                checks[f"bec:{level}"] = [check_bec(x, level) for x in executions]
+            elif kind == "seq":
+                checks[f"seq:{level}"] = [check_seq(x, level) for x in executions]
+            elif kind == "ncc":
+                checks["ncc"] = [check_ncc(x) for x in executions]
+            elif kind == "sessions":
+                session_guarantees = [
+                    check_all_session_guarantees(x) for x in executions
+                ]
+        return ShardedRunResult(
+            name=self.scenario.name,
+            protocol=self.deployment.protocol,
+            deployment=self.deployment,
+            router=self.router,
+            histories=histories,
+            executions=executions,
+            futures=dict(self.futures),
+            checks=checks,
+            session_guarantees=session_guarantees,
+            convergence=self.deployment.convergence_report(),
+            refused=dict(self.refused),
+        )
+
+
+@dataclass
+class ShardedRunResult:
+    """Everything one sharded scenario run produced, merged keyspace-wide."""
+
+    name: str
+    protocol: str
+    deployment: ShardedCluster = field(repr=False)
+    router: ShardRouter = field(repr=False)
+    #: One frozen history per shard, indexed by shard id.
+    histories: List[History] = field(repr=False)
+    executions: List[Any] = field(repr=False)
+    #: label -> future, across all shards (cross-shard parents included).
+    futures: Dict[str, OpFuture] = field(repr=False)
+    #: check name -> per-shard reports.
+    checks: Dict[str, List[Any]] = field(repr=False)
+    session_guarantees: Optional[List[Dict[str, Any]]] = field(repr=False)
+    convergence: Dict[str, Any] = field(repr=False)
+    refused: Dict[str, float] = field(repr=False, default_factory=dict)
+
+    # -- responses -----------------------------------------------------
+    @property
+    def responses(self) -> Dict[str, Any]:
+        """label -> response value (∇ for operations still pending)."""
+        return {label: future.rval for label, future in self.futures.items()}
+
+    def future(self, label: str) -> OpFuture:
+        return self.futures[label]
+
+    # -- verdicts ------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.deployment.n_shards
+
+    @property
+    def converged(self) -> bool:
+        return bool(self.convergence["converged"])
+
+    def check(self, name: str, shard: Optional[int] = None) -> Any:
+        """A requested guarantee report — per shard, or one shard's."""
+        reports = self.checks[name]
+        return reports if shard is None else reports[shard]
+
+    def ok(self, name: str) -> bool:
+        """True when the named check holds on *every* shard."""
+        return all(bool(report.ok) for report in self.checks[name])
+
+    # -- state and metrics ---------------------------------------------
+    def query(self, op: Operation) -> Any:
+        """Execute a read-only ``op`` on its owner shard's converged state."""
+        return self.router.query(op)
+
+    def shard_snapshot(self, shard: int) -> Dict[Any, Any]:
+        """Replica 0's register snapshot of one shard."""
+        return self.deployment.shards[shard].replicas[0].state.snapshot()
+
+    def latencies(self, level: Optional[str] = None) -> List[float]:
+        """Response latencies of the labelled futures (by level)."""
+        samples = []
+        for future in self.futures.values():
+            if future.latency is None:
+                continue
+            if level == "strong" and not future.strong:
+                continue
+            if level == "weak" and future.strong:
+                continue
+            samples.append(future.latency)
+        return samples

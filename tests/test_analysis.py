@@ -208,3 +208,30 @@ def test_cli_runs_single_experiment(capsys):
 def test_cli_rejects_unknown_experiment():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["not-an-experiment"])
+
+
+def test_cli_shard_smoke(capsys):
+    """The E12 command runs end to end and prints both tables."""
+    assert main(["shard"]) == 0
+    out = capsys.readouterr().out
+    assert "Sharded scaling" in out
+    assert "conservation" in out.lower()
+    assert "speedup" in out
+
+
+def test_shard_json_artifact(tmp_path):
+    """The --json artifact CI uploads carries the headline verdicts."""
+    import json
+
+    from repro.analysis.experiments import sharding
+
+    path = tmp_path / "E12.json"
+    sharding.main(["--json", str(path)])
+    artifact = json.loads(path.read_text())
+    assert artifact["experiment"] == "E12-sharding"
+    assert artifact["speedup_4_shards_uniform"] >= 2.0
+    assert artifact["all_converged"]
+    assert artifact["all_conserved"]
+    assert artifact["all_bit_identical"]
+    assert len(artifact["scaling"]) == 10
+    assert len(artifact["conservation"]) == 2

@@ -1,0 +1,112 @@
+"""Tests for keyspace partitioning: ShardMap, hash/range partitioners.
+
+The load-bearing property is *routing determinism*: placement is a pure
+function of (seed, partitioner, n_shards) — the simulation's determinism
+guarantee extends to routing, so replayed scenarios shard identically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard.partitioner import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardMap,
+)
+
+
+# ----------------------------------------------------------------------
+# Determinism (satellite: hypothesis over seeds and key sets)
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32),
+    n_shards=st.integers(min_value=1, max_value=8),
+    keys=st.lists(
+        st.one_of(st.text(max_size=8), st.integers(-1000, 1000)),
+        min_size=1,
+        max_size=40,
+        unique=True,
+    ),
+)
+def test_hash_placement_deterministic_across_instances(seed, n_shards, keys):
+    """(seed, partitioner) ⇒ identical placement, run after run."""
+    first = ShardMap(n_shards, HashPartitioner(seed)).placement(keys)
+    second = ShardMap(n_shards, HashPartitioner(seed)).placement(keys)
+    assert first == second
+    assert all(0 <= shard < n_shards for _, shard in first)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_shards=st.integers(min_value=2, max_value=8),
+)
+def test_every_shard_owns_keys_under_uniform_universe(seed, n_shards):
+    """With enough uniform keys, no shard is left without any."""
+    keys = [f"key{i}" for i in range(64 * n_shards)]
+    shard_map = ShardMap(n_shards, HashPartitioner(seed))
+    owners = {shard_map.owner(key) for key in keys}
+    assert owners == set(range(n_shards))
+
+
+def test_different_seeds_usually_place_differently():
+    keys = [f"key{i}" for i in range(64)]
+    a = ShardMap(4, HashPartitioner(0)).placement(keys)
+    b = ShardMap(4, HashPartitioner(1)).placement(keys)
+    assert a != b
+
+
+# ----------------------------------------------------------------------
+# Range partitioner
+# ----------------------------------------------------------------------
+def test_range_partitioner_contiguous_ownership():
+    shard_map = ShardMap(3, RangePartitioner(["h", "p"]))
+    assert shard_map.owner("alpha") == 0
+    assert shard_map.owner("h") == 1  # boundary belongs to the upper range
+    assert shard_map.owner("middle") == 1
+    assert shard_map.owner("zulu") == 2
+
+
+def test_range_partitioner_rejects_unsorted_or_duplicate_boundaries():
+    with pytest.raises(ValueError, match="sorted"):
+        RangePartitioner(["p", "h"])
+    with pytest.raises(ValueError, match="distinct"):
+        RangePartitioner(["h", "h"])
+
+
+def test_shard_map_rejects_surplus_range_boundaries():
+    with pytest.raises(ValueError, match="ranges"):
+        ShardMap(2, RangePartitioner(["a", "b", "c"]))
+
+
+def test_range_partitioner_last_shard_absorbs_tail():
+    # More shards than ranges is fine: the boundaries define the splits.
+    shard_map = ShardMap(4, RangePartitioner(["m"]))
+    assert shard_map.owner("a") == 0
+    assert shard_map.owner("z") == 1
+
+
+# ----------------------------------------------------------------------
+# ShardMap surface
+# ----------------------------------------------------------------------
+def test_owners_deduplicates_in_first_seen_order():
+    shard_map = ShardMap(2, RangePartitioner(["m"]))
+    assert shard_map.owners(["z", "a", "x", "b"]) == (1, 0)
+
+
+def test_shard_map_validates_n_shards():
+    with pytest.raises(ValueError, match="n_shards"):
+        ShardMap(0)
+
+
+def test_default_partitioner_is_stable_hash():
+    shard_map = ShardMap(4)
+    assert isinstance(shard_map.partitioner, HashPartitioner)
+    assert "hash" in shard_map.describe()
+
+
+def test_single_shard_owns_everything():
+    shard_map = ShardMap(1, HashPartitioner(7))
+    assert {shard_map.owner(k) for k in range(100)} == {0}
