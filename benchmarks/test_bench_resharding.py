@@ -1,0 +1,77 @@
+"""Benchmark E13 — live resharding gates.
+
+Shapes reproduced / asserted:
+
+- **the elasticity gate**: after a live split (2 → 3 shards under
+  traffic), a second workload phase commits throughput within 10% of a
+  fresh 3-shard deployment *with the same placement* — the migration's
+  residual footprint (stranded source registers, the install request in
+  the destination's log) is noise, not a tax;
+- **the dip is bounded, not a stall**: committed-op throughput inside
+  the handoff window stays above half the pre-split rate on the
+  sequencer engine (the Paxos barrier needs several consensus rounds, so
+  its window is longer and its floor lower — but still nonzero: weak
+  traffic for non-moving keys keeps flowing throughout);
+- **nothing is refused, nothing is lost**: operations touching moving
+  keys are deferred and retried at activation (the MigrationInProgress
+  path), and the deployment converges with every deferred op committed;
+- **conservation crosses the epoch boundary**: a barrage of strong
+  (mostly cross-shard) transfers straddling the split neither mints nor
+  loses money, under both TOB engines.
+"""
+
+from repro.analysis.experiments.resharding import (
+    run_conservation_split,
+    run_split_case,
+)
+
+#: The elasticity gate: post-split vs placement-matched fresh deployment.
+POST_SPLIT_TOLERANCE = 0.10
+#: The dip floor on the sequencer engine.
+SEQUENCER_DIP_FLOOR = 0.5
+
+
+def test_post_split_throughput_matches_fresh_deployment(bench):
+    """Post-split throughput within 10% of a fresh 3-shard deployment."""
+    uniform = bench(run_split_case, "uniform", "sequencer", bench_rounds=2)
+    zipf = run_split_case("zipf", "sequencer")
+    for row in (uniform, zipf):
+        assert row.converged
+        assert row.epoch == 1
+        deviation = abs(1.0 - row.post_split_ratio)
+        assert deviation <= POST_SPLIT_TOLERANCE, (
+            f"{row.skew}: post-split throughput {row.post_split_throughput:.2f} "
+            f"deviates {100 * deviation:.1f}% from the fresh baseline "
+            f"{row.fresh_throughput:.2f}"
+        )
+
+
+def test_migration_dip_is_bounded_and_nothing_is_refused():
+    """The handoff window dips but never stalls; deferred ops all land."""
+    row = run_split_case("uniform", "sequencer")
+    assert row.dip_ratio >= SEQUENCER_DIP_FLOOR, (
+        f"throughput inside the handoff window fell to "
+        f"{row.dip_ratio:.2f}x the pre-split rate"
+    )
+    # The window actually deferred traffic — and the run still converged
+    # with every operation committed (settle ran to quiescence).
+    assert row.deferred_ops > 0
+    assert row.converged
+
+
+def test_conservation_through_the_split_both_tob_engines(bench):
+    """Strong transfers straddling the split conserve money, both TOBs."""
+    sequencer = bench(run_conservation_split, "sequencer", bench_rounds=2)
+    paxos = run_conservation_split("paxos")
+    for row in (sequencer, paxos):
+        assert row.conserved, (
+            f"{row.tob_engine}: Σ {row.initial_total} -> {row.final_total}"
+        )
+        assert row.epoch == 1
+        assert row.converged
+        assert row.aborted_transfers == 3  # every overdraw refused
+    # Both engines agree on the outcome of every transfer.
+    assert (
+        sequencer.committed_transfers == paxos.committed_transfers
+        and sequencer.final_total == paxos.final_total
+    )

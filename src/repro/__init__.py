@@ -74,6 +74,8 @@ from repro.datatypes import (
 from repro.errors import (
     CrossShardError,
     DivergedOrderError,
+    MigrationError,
+    MigrationInProgress,
     PendingResponseError,
     ReplicaUnavailableError,
     ReproError,
@@ -87,11 +89,14 @@ from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
 from repro.scenario import LiveRun, RunResult, Scenario
 from repro.shard import (
     HashPartitioner,
+    Migration,
     RangePartitioner,
+    Reassignment,
     ShardMap,
     ShardRouter,
     ShardedCluster,
     ShardedRunResult,
+    VersionedShardMap,
 )
 
 __version__ = "2.0.0"
@@ -118,6 +123,9 @@ __all__ = [
     "LiveRun",
     "MODIFIED",
     "MeetingScheduler",
+    "Migration",
+    "MigrationError",
+    "MigrationInProgress",
     "ModifiedBayouReplica",
     "ORIGINAL",
     "OpFuture",
@@ -125,6 +133,7 @@ __all__ = [
     "PENDING",
     "PendingResponseError",
     "RangePartitioner",
+    "Reassignment",
     "Register",
     "ReplicaUnavailableError",
     "Req",
@@ -142,6 +151,7 @@ __all__ = [
     "ShardedRunResult",
     "StateObject",
     "UnknownOperationError",
+    "VersionedShardMap",
     "WEAK",
     "__version__",
     "build_abstract_execution",

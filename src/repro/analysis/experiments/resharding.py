@@ -1,0 +1,466 @@
+"""Experiment E13 — live resharding: elastic scale-out under traffic.
+
+E12 established that a *static* sharded deployment scales committed-op
+throughput; E13 measures what it costs to get from N to N+1 shards
+**without stopping the world**. A 2-shard deployment runs a keyed KV
+workload; mid-run, shard 0 is split (epoch barrier through its TOB,
+frozen committed-prefix snapshot plus tentative-suffix handoff to the
+freshly spawned shard, epoch activation) while the workload keeps
+issuing operations. Reported per leg (uniform/Zipf keys × both TOB
+engines, all in simulated time, deterministic under the seed):
+
+- **migration dip** — committed-op throughput inside the handoff window
+  ``[barrier staged, epoch activated]`` relative to the pre-split rate.
+  Operations touching moving keys are deferred (the
+  ``MigrationInProgress`` retry path), so the dip is real but bounded —
+  nothing is refused and nothing is lost;
+- **post-split throughput** — a second workload phase driven against the
+  now-3-shard deployment, compared with the *same* phase on a fresh
+  3-shard deployment: the gate is post-split throughput within 10% of
+  the fresh baseline (the split deployment's placement is the epoch
+  chain, the fresh one's is plain hashing, so the two are equal only up
+  to placement noise);
+- **weak-op staleness** through the split, plus the handoff's own
+  footprint: registers moved, tentative twins transferred, duplicate
+  drops, operations deferred.
+
+A conservation leg runs `BankAccounts` through the same split while a
+barrage of strong (mostly cross-shard) transfers is in flight: Σ
+balances is unchanged at quiescence and every shard's replicas converge
+— the epoch boundary neither mints nor loses money.
+
+Run from the CLI (``python -m repro reshard``) or directly with
+``--json FILE`` to dump the artifact CI uploads next to E10–E12.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import asdict, dataclass
+from statistics import mean
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.analysis.workload import RandomWorkload, kv_profile, make_sampler
+from repro.datatypes.bank import BankAccounts
+from repro.datatypes.kvstore import KVStore
+from repro.scenario import Scenario
+
+REPLICAS_PER_SHARD = 3
+SESSIONS = 10
+OPS_PER_SESSION = 24
+N_KEYS = 128
+EXEC_DELAY = 0.1
+MESSAGE_DELAY = 0.2
+STRONG_PROBABILITY = 0.1
+PHASE_A_SEED = 3
+PHASE_B_SEED = 11
+SPLIT_AT = 6.0
+TRANSFER_DELAY = 1.0
+
+KEYS = [f"k{i}" for i in range(N_KEYS)]
+
+
+@dataclass
+class ReshardingRun:
+    """One split leg: the dip/post-split envelope of a live migration."""
+
+    skew: str
+    tob_engine: str
+    epoch: int
+    #: Simulated length of the handoff window (barrier → activation).
+    window: float
+    moved_registers: int
+    transferred_requests: int
+    duplicate_drops: int
+    deferred_ops: int
+    forwarded_routes: int
+    #: Committed-op throughput before the barrier was staged.
+    pre_split_throughput: float
+    #: Committed-op throughput inside the handoff window.
+    window_throughput: float
+    #: window / pre ratio — the migration dip (1.0 = no dip).
+    dip_ratio: float
+    #: Phase-B committed throughput on the split (now 3-shard) deployment.
+    post_split_throughput: float
+    #: The same phase B on a fresh 3-shard deployment.
+    fresh_throughput: float
+    #: post / fresh — the elasticity gate wants |1 - ratio| <= 0.10.
+    post_split_ratio: float
+    weak_staleness: float
+    converged: bool
+
+
+@dataclass
+class ConservationSplitRun:
+    """The conservation verdict of a split under a transfer barrage."""
+
+    tob_engine: str
+    accounts: int
+    initial_total: int
+    final_total: int
+    conserved: bool
+    transfers: int
+    committed_transfers: int
+    aborted_transfers: int
+    deferred_subs: int
+    epoch: int
+    converged: bool
+
+
+def _kv_scenario(n_shards: int, skew: str, tob_engine: str) -> Scenario:
+    scenario = (
+        Scenario(KVStore(), name=f"resharding-{n_shards}-{skew}-{tob_engine}")
+        .shards(n_shards)
+        .replicas(REPLICAS_PER_SHARD)
+        .exec_delay(EXEC_DELAY)
+        .message_delay(MESSAGE_DELAY)
+        .config(record_perceived_traces=False)
+        .workload(
+            "kv",
+            keys=KEYS,
+            key_skew=skew,
+            ops_per_session=OPS_PER_SESSION,
+            think_time=0.0,
+            seed=PHASE_A_SEED,
+            sessions=SESSIONS,
+            strong_probability=STRONG_PROBABILITY,
+        )
+    )
+    if tob_engine == "paxos":
+        scenario.tob("paxos").config(
+            heartbeat_interval=2.0, failure_timeout=7.0, paxos_retry_interval=4.0
+        )
+    return scenario
+
+
+def _phase_futures(workload: RandomWorkload):
+    return [f for session in workload.sessions for f in session.futures]
+
+
+def _throughput(futures, start: float, end: float) -> float:
+    """Committed (TOB-final) operations per simulated time unit in a window."""
+    stable = [
+        f for f in futures
+        if f.stable_time is not None and start <= f.stable_time < end
+    ]
+    span = end - start
+    return len(stable) / span if span > 0 else 0.0
+
+
+def _drive_phase_b(live, skew: str) -> RandomWorkload:
+    profile = kv_profile(
+        STRONG_PROBABILITY, sampler=make_sampler(KEYS, skew)
+    )
+    workload = RandomWorkload(
+        live.router,
+        profile,
+        ops_per_session=OPS_PER_SESSION,
+        think_time=0.0,
+        seed=PHASE_B_SEED,
+        sessions=SESSIONS,
+    )
+    workload.start()
+    live.settle(max_time=6_000.0)
+    return workload
+
+
+def _finish(live, tob_engine: str) -> None:
+    if tob_engine == "paxos":
+        live.shutdown()
+        live.run_until_quiescent()
+
+
+def run_split_case(
+    skew: str = "uniform", tob_engine: str = "sequencer"
+) -> ReshardingRun:
+    """One live-split leg: workload on 2 shards, split shard 0 mid-run."""
+    live = _kv_scenario(2, skew, tob_engine).build()
+    live.run(until=SPLIT_AT)
+    migration = live.deployment.split(0, transfer_delay=TRANSFER_DELAY)
+    for _ in range(200):
+        if migration.complete:
+            break
+        live.run(until=live.now + 5.0)
+    assert migration.complete, "the split never activated"
+    live.settle(max_time=6_000.0)
+
+    phase_a = _phase_futures(live.workloads[0])
+    first_invoke = min(
+        f.invoke_time for f in phase_a if f.invoke_time is not None
+    )
+    pre = _throughput(phase_a, first_invoke, migration.started_at)
+    window = _throughput(
+        phase_a, migration.started_at, migration.activated_at
+    )
+    staleness = [
+        f.stable_time - f.response_time
+        for f in phase_a
+        if not f.strong
+        and f.stable_time is not None
+        and f.response_time is not None
+    ]
+
+    phase_b = _drive_phase_b(live, skew)
+    b_futures = _phase_futures(phase_b)
+    b_start = min(f.invoke_time for f in b_futures if f.invoke_time is not None)
+    b_end = max(f.stable_time for f in b_futures if f.stable_time is not None)
+    post = _throughput(b_futures, b_start, b_end + 1e-9)
+    converged = live.converged()
+    _finish(live, tob_engine)
+
+    fresh = run_fresh_baseline(skew, tob_engine)
+    return ReshardingRun(
+        skew=skew,
+        tob_engine=tob_engine,
+        epoch=live.deployment.epoch,
+        window=migration.activated_at - migration.started_at,
+        moved_registers=migration.moved_registers,
+        transferred_requests=migration.transferred_requests,
+        duplicate_drops=migration.duplicate_drops,
+        deferred_ops=migration.deferred_ops,
+        forwarded_routes=live.router.forwarded_count,
+        pre_split_throughput=pre,
+        window_throughput=window,
+        dip_ratio=window / pre if pre else 0.0,
+        post_split_throughput=post,
+        fresh_throughput=fresh,
+        post_split_ratio=post / fresh if fresh else 0.0,
+        weak_staleness=mean(staleness) if staleness else 0.0,
+        converged=converged,
+    )
+
+
+def run_fresh_baseline(skew: str, tob_engine: str) -> float:
+    """Phase-B committed throughput on a *fresh* 3-shard deployment.
+
+    Same warm-up phase, same phase-B workload and seed, and — crucially
+    — the *same placement* as the post-split deployment: the fresh
+    deployment is born with the split's epoch already applied
+    (:meth:`ShardedCluster.static_reassign`), so the comparison isolates
+    the migration's residual cost (stranded source registers, the
+    install in the destination's log) from placement-balance noise.
+    """
+    from repro.shard.partitioner import Reassignment
+
+    live = _kv_scenario(2, skew, tob_engine).build()
+    live.deployment.static_reassign(
+        Reassignment("split", 0, 2, ("split-epoch1",))
+    )
+    live.settle(max_time=6_000.0)
+    phase_b = _drive_phase_b(live, skew)
+    futures = _phase_futures(phase_b)
+    start = min(f.invoke_time for f in futures if f.invoke_time is not None)
+    end = max(f.stable_time for f in futures if f.stable_time is not None)
+    _finish(live, tob_engine)
+    return _throughput(futures, start, end + 1e-9)
+
+
+def run_splits() -> List[ReshardingRun]:
+    """The full sweep: uniform/zipf × sequencer, uniform × Paxos."""
+    rows = [
+        run_split_case(skew, "sequencer") for skew in ("uniform", "zipf")
+    ]
+    rows.append(run_split_case("uniform", "paxos"))
+    rows.append(run_split_case("zipf", "paxos"))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Conservation through the epoch boundary
+# ----------------------------------------------------------------------
+N_ACCOUNTS = 12
+INITIAL_BALANCE = 100
+
+
+def run_conservation_split(tob_engine: str = "sequencer") -> ConservationSplitRun:
+    """Split mid-barrage: strong transfers must conserve across epochs."""
+    accounts = [f"acct{i}" for i in range(N_ACCOUNTS)]
+    scenario = (
+        Scenario(BankAccounts(), name=f"conservation-split-{tob_engine}")
+        .shards(2)
+        .replicas(REPLICAS_PER_SHARD)
+        .exec_delay(0.05)
+        .message_delay(0.5)
+        .resharding(8.0, split=0, transfer_delay=1.0)
+    )
+    if tob_engine == "paxos":
+        scenario.tob("paxos").config(
+            heartbeat_interval=2.0, failure_timeout=7.0, paxos_retry_interval=4.0
+        )
+    for index, account in enumerate(accounts):
+        scenario.invoke(
+            1.0 + 0.1 * index,
+            index % REPLICAS_PER_SHARD,
+            BankAccounts.deposit(account, INITIAL_BALANCE),
+            label=f"seed-{account}",
+        )
+    transfers = 0
+    for index in range(N_ACCOUNTS):
+        scenario.invoke(
+            6.0 + 0.5 * index,  # straddles the split at t=8
+            index % REPLICAS_PER_SHARD,
+            BankAccounts.transfer(
+                accounts[index], accounts[(index + 1) % N_ACCOUNTS], 10 + index
+            ),
+            strong=True,
+            label=f"xfer-{index}",
+        )
+        transfers += 1
+    for index in range(3):
+        scenario.invoke(
+            13.0 + 0.5 * index,
+            0,
+            BankAccounts.transfer(
+                accounts[index * 3],
+                accounts[(index * 3 + 5) % N_ACCOUNTS],
+                10_000,  # must abort
+            ),
+            strong=True,
+            label=f"overdraw-{index}",
+        )
+        transfers += 1
+    result = scenario.run(well_formed=False, max_time=4_000.0)
+    final_total = sum(
+        result.query(BankAccounts.balance(account)) for account in accounts
+    )
+    coordinator = result.router.coordinator
+    return ConservationSplitRun(
+        tob_engine=tob_engine,
+        accounts=N_ACCOUNTS,
+        initial_total=N_ACCOUNTS * INITIAL_BALANCE,
+        final_total=final_total,
+        conserved=final_total == N_ACCOUNTS * INITIAL_BALANCE,
+        transfers=transfers,
+        committed_transfers=coordinator.committed_count,
+        aborted_transfers=coordinator.aborted_count,
+        deferred_subs=coordinator.deferred_subs,
+        epoch=result.epoch,
+        converged=result.converged,
+    )
+
+
+def run_conservation_matrix() -> List[ConservationSplitRun]:
+    return [run_conservation_split(engine) for engine in ("sequencer", "paxos")]
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def to_json(
+    splits: List[ReshardingRun], conservation: List[ConservationSplitRun]
+) -> Dict[str, Any]:
+    """The E13 artifact (uploaded by CI next to E10–E12)."""
+    return {
+        "experiment": "E13-resharding",
+        "all_converged": all(row.converged for row in splits),
+        "all_conserved": all(row.conserved for row in conservation),
+        "max_post_split_deviation": max(
+            abs(1.0 - row.post_split_ratio) for row in splits
+        ),
+        "min_dip_ratio": min(row.dip_ratio for row in splits),
+        "splits": [asdict(row) for row in splits],
+        "conservation": [asdict(row) for row in conservation],
+    }
+
+
+def render_splits(rows: List[ReshardingRun]) -> str:
+    return format_table(
+        [
+            "skew",
+            "TOB",
+            "window",
+            "moved",
+            "twins",
+            "deferred",
+            "pre thpt",
+            "window thpt",
+            "dip",
+            "post thpt",
+            "fresh-3 thpt",
+            "ratio",
+            "converged",
+        ],
+        [
+            [
+                row.skew,
+                row.tob_engine,
+                f"{row.window:.1f}",
+                row.moved_registers,
+                row.transferred_requests,
+                row.deferred_ops,
+                f"{row.pre_split_throughput:.2f}",
+                f"{row.window_throughput:.2f}",
+                f"{row.dip_ratio:.2f}",
+                f"{row.post_split_throughput:.2f}",
+                f"{row.fresh_throughput:.2f}",
+                f"{row.post_split_ratio:.2f}",
+                row.converged,
+            ]
+            for row in rows
+        ],
+        title="Live split under traffic: dip and post-split throughput (E13)",
+    )
+
+
+def render_conservation(rows: List[ConservationSplitRun]) -> str:
+    return format_table(
+        [
+            "TOB",
+            "transfers",
+            "committed",
+            "aborted",
+            "deferred subs",
+            "Σ before",
+            "Σ after",
+            "conserved",
+            "epoch",
+            "converged",
+        ],
+        [
+            [
+                row.tob_engine,
+                row.transfers,
+                row.committed_transfers,
+                row.aborted_transfers,
+                row.deferred_subs,
+                row.initial_total,
+                row.final_total,
+                row.conserved,
+                row.epoch,
+                row.converged,
+            ]
+            for row in rows
+        ],
+        title="Strong transfers through a split: conservation (E13)",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json", metavar="FILE", help="also write the E13 artifact"
+    )
+    args = parser.parse_args(argv)
+    splits = run_splits()
+    conservation = run_conservation_matrix()
+    print(render_splits(splits))
+    print()
+    print(render_conservation(conservation))
+    print()
+    worst = max(abs(1.0 - row.post_split_ratio) for row in splits)
+    print(
+        f"worst post-split deviation from a fresh 3-shard deployment: "
+        f"{100 * worst:.1f}%"
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                to_json(splits, conservation), handle, indent=2, sort_keys=True
+            )
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

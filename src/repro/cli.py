@@ -80,6 +80,12 @@ def _run_shard() -> None:
     sharding.main([])
 
 
+def _run_reshard() -> None:
+    from repro.analysis.experiments import resharding
+
+    resharding.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -92,6 +98,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "reorder": ("E10: checkpointed reorder engine at scale", _run_reorder),
     "recovery": ("E11: crash-recovery — durable state, catch-up, convergence", _run_recovery),
     "shard": ("E12: sharded scaling, key skew, cross-shard strong transfers", _run_shard),
+    "reshard": ("E13: live resharding — split under traffic, dip, conservation", _run_reshard),
 }
 
 

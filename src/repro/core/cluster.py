@@ -275,9 +275,15 @@ class BayouCluster:
         """
         replica = self.replicas[pid]
         if replica.node.crashed:
+            # Name the deployment (the shard, in sharded runs) as well as
+            # the replica index: migration/crash interleavings are debugged
+            # from this message, and "replica 1" alone does not say *which*
+            # shard's replica 1 refused the submission.
+            shard_tag = f" of shard {self.name}" if self.name else ""
             raise ReplicaUnavailableError(
-                f"replica {pid} is crashed at t={self.sim.now:g}; a crashed "
-                "replica ceases all communication, so clients cannot reach it"
+                f"replica {pid}{shard_tag} is crashed at t={self.sim.now:g}; "
+                "a crashed replica ceases all communication, so clients "
+                "cannot reach it"
             )
         invoke_time = self.sim.now
         # Stage the history record *before* invoking: the modified protocol

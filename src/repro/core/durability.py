@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.request import Req
 from repro.datatypes.base import Operation
@@ -46,6 +46,7 @@ __all__ = [
     "JsonLinesStore",
     "from_jsonable",
     "open_store",
+    "register_codec",
     "to_jsonable",
 ]
 
@@ -57,6 +58,35 @@ class DurabilityError(RuntimeError):
 # ----------------------------------------------------------------------
 # Wire encoding (JSON-lines backend)
 # ----------------------------------------------------------------------
+#: tag -> (class, encode, decode): extension codecs registered by higher
+#: layers (e.g. the shard layer's epoch-chain records). ``encode`` maps
+#: an instance to a jsonable-friendly payload, ``decode`` inverts it.
+_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
+
+
+def register_codec(
+    tag: str,
+    cls: type,
+    encode: Callable[[Any], Any],
+    decode: Callable[[Any], Any],
+) -> None:
+    """Teach the durable codec a new tagged value type.
+
+    ``core`` must not import the layers built on top of it, yet those
+    layers have state that belongs in stable storage (the shard layer
+    persists its placement-epoch chain so recovery rebuilds routing).
+    Registering a codec gives such a type a reversible tagged encoding
+    in every store backend without inverting the dependency. Tags share
+    the ``~``-prefixed namespace of the built-in tags and must be unique.
+    """
+    if not tag.startswith("~"):
+        raise DurabilityError(f"codec tags must start with '~', got {tag!r}")
+    existing = _CODECS.get(tag)
+    if existing is not None and existing[0] is not cls:
+        raise DurabilityError(f"codec tag {tag!r} already registered")
+    _CODECS[tag] = (cls, encode, decode)
+
+
 def to_jsonable(value: Any) -> Any:
     """Encode ``value`` into a JSON-serialisable structure, reversibly.
 
@@ -78,6 +108,9 @@ def to_jsonable(value: Any) -> Any:
         }
     if isinstance(value, Operation):
         return {"~op": [value.name, to_jsonable(value.args)]}
+    for tag, (cls, encode, _decode) in _CODECS.items():
+        if isinstance(value, cls):
+            return {tag: to_jsonable(encode(value))}
     if isinstance(value, tuple):
         return {"~t": [to_jsonable(item) for item in value]}
     if isinstance(value, list):
@@ -113,6 +146,9 @@ def from_jsonable(value: Any) -> Any:
             return Operation(name=name, args=from_jsonable(args))
         if "~t" in value:
             return tuple(from_jsonable(item) for item in value["~t"])
+        for tag, (_cls, _encode, decode) in _CODECS.items():
+            if tag in value:
+                return decode(from_jsonable(value[tag]))
         if "~d" in value:
             return {
                 from_jsonable(key): from_jsonable(item) for key, item in value["~d"]

@@ -197,6 +197,24 @@ class OpFuture:
         if stable:
             self._mark_stable(at)
 
+    def _respond_value(self, value: Any, at: float) -> None:
+        """Record a response that has no wire request behind it.
+
+        Used by cross-shard futures (the parent of a staged plan holds no
+        single request) and by route-forwarding adapters that mirror an
+        inner future's outcome onto the one the client already holds.
+        Idempotent like :meth:`_resolve`: once responded, later calls do
+        nothing.
+        """
+        if self.done:
+            return
+        self._value = value
+        self.response_time = at
+        self.state = FUTURE_RESPONDED
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
     def _mark_stable(self, at: float) -> None:
         if self.stable or not self.done:
             return

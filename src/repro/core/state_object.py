@@ -38,7 +38,12 @@ from __future__ import annotations
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.request import Req
-from repro.datatypes.base import DataType, DbView
+from repro.datatypes.base import (
+    EPOCH_BARRIER_OP,
+    MIGRATION_INSTALL_OP,
+    DataType,
+    DbView,
+)
 
 
 class RollbackError(RuntimeError):
@@ -86,6 +91,32 @@ class _UndoTrackingView(DbView):
         if register_id not in self.undo_map:
             self.undo_map[register_id] = self._db.get(register_id, _ABSENT)
         self._db[register_id] = value
+
+
+def execute_with_protocol_ops(datatype: DataType, op: Any, view: DbView) -> Any:
+    """Execute ``op`` against ``view``, handling shard-migration ops.
+
+    The two migration protocol operations are datatype-agnostic and are
+    interpreted here — *below* ``DataType.execute`` — so every data type
+    supports live resharding without declaring anything:
+
+    - the **epoch barrier** writes nothing; its committed position marks
+      the point in the source shard's total order at which the moving
+      keys' snapshot is frozen;
+    - the **install** writes the migrated ``(key, register, value)``
+      triples through the normal (undo-tracked) view, so rollbacks,
+      checkpoints, the write-ahead log and recovery replay all treat the
+      installed snapshot like any other request's writes. The key rides
+      along so a *later* migration scanning this shard's log still sees
+      it as a candidate — even when the install is the key's only write.
+    """
+    if op.name == EPOCH_BARRIER_OP:
+        return op.args
+    if op.name == MIGRATION_INSTALL_OP:
+        for _key, register, value in op.args[0]:
+            view.write(register, value)
+        return len(op.args[0])
+    return datatype.execute(op, view)
 
 
 class StateObject:
@@ -140,7 +171,7 @@ class StateObject:
         snapshot would be wasted work.
         """
         view = _UndoTrackingView(self.db)
-        response = self.datatype.execute(req.op, view)
+        response = execute_with_protocol_ops(self.datatype, req.op, view)
         self._undo_log[req.dot] = view.undo_map
         self._undo_order.append(req)
         if checkpoint:

@@ -90,6 +90,9 @@ class BankAccounts(DataType):
             return (op.args[0], op.args[1])
         return (op.args[0],)
 
+    def registers_of(self, key: Hashable) -> Tuple[Hashable, ...]:
+        return (_reg(key),)
+
     def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
         if op.name != "transfer":
             return None

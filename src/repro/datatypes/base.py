@@ -75,6 +75,21 @@ class PlainDb(DbView):
         self.data[register_id] = value
 
 
+#: Operation names of the shard-migration protocol. They never reach
+#: ``DataType.execute``: :class:`~repro.core.state_object.StateObject`
+#: intercepts them (the barrier is a pure no-op marking an epoch's
+#: position in the source shard's TOB; the install writes a migrated
+#: register snapshot, with normal undo tracking, at a fixed position in
+#: the destination shard's order). They are invoked directly on replicas
+#: — never through the cluster's client surface — so they hold no
+#: history events and the guarantee checkers never see them.
+EPOCH_BARRIER_OP = "__epoch_barrier__"
+MIGRATION_INSTALL_OP = "__migration_install__"
+
+#: Both protocol ops, for "skip these" checks in log scans.
+MIGRATION_PROTOCOL_OPS = frozenset({EPOCH_BARRIER_OP, MIGRATION_INSTALL_OP})
+
+
 @dataclass(frozen=True)
 class ShardedOp:
     """One staged sub-operation of a cross-shard plan.
@@ -162,6 +177,7 @@ RESERVED_OPERATION_NAMES = frozenset(
         "execute",
         "is_readonly",
         "keys_of",
+        "registers_of",
         "op_spec",
         "operation_specs",
         "operations",
@@ -323,6 +339,24 @@ class DataType:
         key's registers on exactly one shard.
         """
         return ()
+
+    def registers_of(self, key: Hashable) -> Tuple[Hashable, ...]:
+        """The register ids holding ``key``'s state, for live migration.
+
+        A resharding handoff moves a key by copying exactly these
+        registers out of the source shard's committed-prefix snapshot
+        into the destination's. Keyed types (``KVStore``,
+        ``BankAccounts``) override this; the default raises — an unkeyed
+        type's state is one indivisible unit, so there is nothing a
+        migration could carve out per key.
+        """
+        from repro.errors import MigrationError
+
+        raise MigrationError(
+            f"{self.type_name} declares no per-key register groups "
+            "(registers_of); only keyed data types support live key "
+            "migration"
+        )
 
     def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
         """The prepare/commit staging of a multi-key ``op`` (or None).

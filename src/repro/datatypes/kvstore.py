@@ -108,6 +108,9 @@ class KVStore(DataType):
             return tuple(key for key, _ in op.args)
         return (op.args[0],)
 
+    def registers_of(self, key: Hashable) -> Tuple[Hashable, ...]:
+        return (_reg(key),)
+
     def cross_shard_plan(self, op: Operation) -> Optional[CrossShardPlan]:
         if op.name != "put_many":
             return None

@@ -60,6 +60,35 @@ class CrossShardError(ReproError, RuntimeError):
     """
 
 
+class MigrationError(ReproError, RuntimeError):
+    """Raised when a live resharding step cannot start or proceed.
+
+    Examples: splitting a retired shard, migrating an unkeyed data type
+    (no per-key register groups to hand over), or starting a second
+    migration on a shard whose previous one has not activated yet.
+    """
+
+
+class MigrationInProgress(ReproError, RuntimeError):
+    """Raised when an operation's keys are mid-handoff between shards.
+
+    Between the source shard's epoch barrier and the new epoch's
+    activation, the moving keys' committed snapshot is frozen; accepting
+    new operations for them at the source would silently lose the
+    updates at the destination. Routers catch this internally and retry
+    the submission when the migration completes (the *retry path*) —
+    clients only observe extra latency, never a refusal.
+    """
+
+    def __init__(self, message: str, *, migration: Any = None, key: Any = None):
+        super().__init__(message)
+        #: The in-flight :class:`~repro.shard.migration.Migration`;
+        #: register a retry with ``migration.when_complete(callback)``.
+        self.migration = migration
+        #: The key whose handoff blocked the submission.
+        self.key = key
+
+
 class DivergedOrderError(ReproError, AssertionError):
     """Raised when replicas disagree on the total-order-broadcast prefix.
 

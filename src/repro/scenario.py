@@ -181,6 +181,8 @@ class Scenario:
         self._filter_builders: List[
             Tuple[Callable[[MessageFilter], None], Optional[int]]
         ] = []
+        #: (at, kind, params, pid, transfer_delay) resharding steps.
+        self._reshardings: List[Tuple[float, str, Tuple[Any, ...], int, float]] = []
         self._scripted: List[_ScriptedOp] = []
         self._clients: List[ScenarioClient] = []
         self._workloads: List[_WorkloadSpec] = []
@@ -362,6 +364,60 @@ class Scenario:
         self._config_kwargs["durability"] = backend
         if directory is not None:
             self._config_kwargs["durability_dir"] = directory
+        return self
+
+    def resharding(
+        self,
+        at: float,
+        *,
+        split: Optional[int] = None,
+        merge: Optional[Tuple[int, int]] = None,
+        move: Optional[Tuple[Any, Any, int]] = None,
+        pid: int = 0,
+        transfer_delay: float = 0.0,
+    ) -> "Scenario":
+        """Schedule a live resharding step at time ``at`` (sharded only).
+
+        Exactly one of the three shapes:
+
+        - ``split=src`` — spawn a fresh shard mid-run and hand it half of
+          ``src``'s keys;
+        - ``merge=(dst, src)`` — fold ``src``'s keys into ``dst`` and
+          retire ``src``;
+        - ``move=(lo, hi, dst)`` — hand the half-open key range
+          ``[lo, hi)`` to ``dst``.
+
+        Each step runs the full live-migration protocol (epoch barrier
+        through the source TOB, committed-prefix snapshot + tentative
+        suffix handoff, epoch activation) while the scenario's workloads
+        keep running; ``transfer_delay`` models the data movement time.
+        The resulting :class:`~repro.shard.migration.Migration` records
+        land on the run (``live.migrations`` /
+        :attr:`~repro.shard.scenario.ShardedRunResult.migrations`).
+        """
+        chosen = [name for name, value in (
+            ("split", split), ("merge", merge), ("move", move)
+        ) if value is not None]
+        if len(chosen) != 1:
+            raise ValueError(
+                "resharding() needs exactly one of split=/merge=/move=, "
+                f"got {chosen or 'none'}"
+            )
+        if split is not None:
+            step = ("split", (split,))
+        elif merge is not None:
+            step = ("merge", tuple(merge))
+            if len(step[1]) != 2:
+                raise ValueError(
+                    f"merge expects a (dst, src) pair, got {merge!r}"
+                )
+        else:
+            step = ("move", tuple(move))
+            if len(step[1]) != 3:
+                raise ValueError(
+                    f"move expects an (lo, hi, dst) triple, got {move!r}"
+                )
+        self._reshardings.append((at, step[0], step[1], pid, transfer_delay))
         return self
 
     def filter(
@@ -598,6 +654,11 @@ class Scenario:
             raise ValueError("Scenario needs a datatype (pass one or .datatype())")
         if self._n_shards is not None:
             return self._build_sharded()
+        if self._reshardings:
+            raise ValueError(
+                "resharding(...) needs a sharded scenario (call .shards(n) "
+                "first)"
+            )
         config = self._compile_config()
 
         partitions = None

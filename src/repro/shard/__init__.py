@@ -12,18 +12,29 @@ and gives clients a single keyspace-wide surface:
   submission and closed-loop sessions;
 - :class:`CrossShardCoordinator` / :class:`CrossShardFuture` — strong
   multi-key operations staged as prepare/commit pairs through each owner
-  shard's TOB.
+  shard's TOB;
+- :class:`Reassignment` / :class:`EpochShardMap` / :class:`VersionedShardMap`
+  — epoch-versioned placement (immutable per-epoch snapshots chained
+  from the base map);
+- :class:`Migration` — the live resharding protocol behind
+  ``ShardedCluster.split/merge/move`` (epoch barrier through the source
+  TOB, committed-prefix snapshot + tentative-suffix handoff, activation).
 
-Fluent entry point: ``Scenario(...).shards(n, partitioner=...)``.
+Fluent entry points: ``Scenario(...).shards(n, partitioner=...)`` and
+``Scenario(...).resharding(at, split=...)``.
 """
 
 from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
 from repro.shard.deployment import ShardedCluster
+from repro.shard.migration import Migration
 from repro.shard.partitioner import (
+    EpochShardMap,
     HashPartitioner,
     Partitioner,
     RangePartitioner,
+    Reassignment,
     ShardMap,
+    VersionedShardMap,
 )
 from repro.shard.router import ShardedSession, ShardRouter
 from repro.shard.scenario import ShardedLiveRun, ShardedRunResult
@@ -31,13 +42,17 @@ from repro.shard.scenario import ShardedLiveRun, ShardedRunResult
 __all__ = [
     "CrossShardCoordinator",
     "CrossShardFuture",
+    "EpochShardMap",
     "HashPartitioner",
+    "Migration",
     "Partitioner",
     "RangePartitioner",
+    "Reassignment",
     "ShardMap",
     "ShardRouter",
     "ShardedCluster",
     "ShardedLiveRun",
     "ShardedRunResult",
     "ShardedSession",
+    "VersionedShardMap",
 ]

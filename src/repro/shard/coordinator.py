@@ -21,6 +21,19 @@ the prepare and commit TOB positions a weak read may observe the moved
 quantity "in flight" (E12 measures this as staleness); conservation
 holds again at quiescence.
 
+Plans are **epoch-pinned**: :meth:`CrossShardCoordinator.stage` records
+the placement epoch the plan was resolved under. A live resharding that
+bumps the epoch while a sub-operation is parked (deferred behind a
+whole-shard recovery or a key handoff) is handled in two regimes:
+
+- nothing staged yet → **abort-and-replan**: the prepare phase restarts
+  from scratch under the new epoch (the stale attempt staged no state,
+  so there is nothing to compensate); counted in :attr:`replanned_count`;
+- something already staged → the remaining legs are **forwarded** to
+  each key's current owner (prepared effects ride the migration's
+  snapshot/suffix handoff to the new owner, so compensating would be
+  both impossible and unnecessary); counted in :attr:`forwarded_subs`.
+
 The parent operation never appears in any shard's history — shard
 histories record the staged sub-operations, the parent lives only in its
 future (``RunResult.responses`` still carries it by label).
@@ -30,8 +43,9 @@ from __future__ import annotations
 
 from typing import List, Optional, TYPE_CHECKING
 
-from repro.core.session import FUTURE_RESPONDED, OpFuture
+from repro.core.session import OpFuture
 from repro.datatypes.base import CrossShardPlan, Operation
+from repro.errors import MigrationInProgress
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.shard.router import ShardRouter
@@ -47,25 +61,25 @@ class CrossShardFuture(OpFuture):
 
     def __init__(self, op: Operation, *, pid: int = -1) -> None:
         super().__init__(op, strong=True, pid=pid)
-        #: Futures of the staged prepare sub-operations, in plan order.
+        #: Futures of the staged prepare sub-operations, in acceptance
+        #: order (a leg parked behind a recovery or handoff lands late;
+        #: ``plan.decide`` still sees values in plan order).
         self.prepare_futures: List[OpFuture] = []
         #: Futures of the staged commit (or abort) sub-operations.
         self.commit_futures: List[OpFuture] = []
         #: Whether ``plan.decide`` judged the prepares successful.
         self.committed: Optional[bool] = None
+        #: Placement epoch the plan was resolved under (set at staging).
+        self.plan_epoch: Optional[int] = None
         #: Second-phase sub-operations not yet stable (set at decision).
         self._pending_subs = 0
+        #: Bumped by every abort-and-replan; parked retries from an
+        #: earlier staging generation detect the bump and stand down.
+        self._stage_generation = 0
 
     def _respond(self, value, at: float) -> None:
         """Record the decided response (no wire request to attach)."""
-        if self.done:
-            return
-        self._value = value
-        self.response_time = at
-        self.state = FUTURE_RESPONDED
-        callbacks, self._done_callbacks = self._done_callbacks, []
-        for callback in callbacks:
-            callback(self)
+        self._respond_value(value, at)
 
 
 class CrossShardCoordinator:
@@ -82,6 +96,12 @@ class CrossShardCoordinator:
         #: can never execute, so their plan never completes (the parent
         #: future stays un-stable, like a refused session future).
         self.lost_count = 0
+        #: Plans whose prepare phase restarted under a newer epoch.
+        self.replanned_count = 0
+        #: Sub-operations re-routed to a key's new owner mid-plan.
+        self.forwarded_subs = 0
+        #: Sub-operations parked behind an in-flight key handoff.
+        self.deferred_subs = 0
 
     def stage(
         self,
@@ -108,22 +128,51 @@ class CrossShardCoordinator:
         if future is None:
             future = CrossShardFuture(op, pid=pid)
         future._mark_invoked(None, self.router.sim.now)
+        if future.pid < 0:
+            future.pid = pid
+        future.plan_epoch = self.router.epoch
+        self._stage_prepares(future, plan)
+        return future
+
+    def _stage_prepares(self, future: CrossShardFuture, plan: CrossShardPlan) -> None:
+        """Launch (or relaunch, after a replan) the prepare phase."""
         if not plan.prepare:
             # Nothing can fail: decide straight away (commits still staged
             # on their own simulation steps through each shard's pipeline).
-            self._decide(future, plan)
-            return future
+            self._decide(future, plan, ())
+            return
+        # Slotted by plan position: a leg parked behind a crash recovery
+        # or a key handoff is accepted *later* than its siblings, but
+        # ``plan.decide`` consumes the values positionally and must see
+        # them in plan order regardless of acceptance order.
+        slots: List[Optional[OpFuture]] = [None] * len(plan.prepare)
         remaining = [len(plan.prepare)]
 
-        def on_prepared(sub_future: OpFuture) -> None:
-            future.prepare_futures.append(sub_future)
-            sub_future.add_stable_callback(
-                lambda _f: self._count_down(remaining, future, plan)
-            )
+        def count_down() -> None:
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                self._decide(
+                    future, plan, tuple(slot.value for slot in slots)
+                )
 
-        for sub in plan.prepare:
-            self._submit_resilient(sub.key, sub.op, pid=pid, deliver=on_prepared)
-        return future
+        def make_deliver(index: int):
+            def on_prepared(sub_future: OpFuture) -> None:
+                slots[index] = sub_future
+                future.prepare_futures.append(sub_future)
+                sub_future.add_stable_callback(lambda _f: count_down())
+
+            return on_prepared
+
+        for index, sub in enumerate(plan.prepare):
+            self._submit_resilient(
+                sub.key,
+                sub.op,
+                pid=future.pid,
+                deliver=make_deliver(index),
+                future=future,
+                plan=plan,
+                phase="prepare",
+            )
 
     def _submit_resilient(
         self,
@@ -132,16 +181,51 @@ class CrossShardCoordinator:
         *,
         pid: int,
         deliver,
+        future: Optional[CrossShardFuture] = None,
+        plan: Optional[CrossShardPlan] = None,
+        phase: str = "commit",
     ) -> None:
-        """Submit one staged sub-operation, surviving owner-shard crashes.
+        """Submit one staged sub-operation, surviving owner-shard crashes
+        and placement-epoch changes.
 
         Tries the preferred replica, fails over to any live replica of
-        the owner shard, and — when every replica is down but at least
-        one can recover — re-tries at the next recovery. ``deliver`` is
-        called with the sub-operation's future once it was accepted
-        (possibly much later, after a recovery).
+        the key's *current* owner shard, parks behind whole-shard
+        recoveries and key handoffs, and — when a parked retry wakes up
+        under a newer epoch — either replans the whole prepare phase (if
+        nothing was staged yet) or forwards this leg to the new owner.
+        ``deliver`` is called with the sub-operation's future once it was
+        accepted (possibly much later, after a recovery or activation).
         """
-        shard_index = self.router.shard_map.owner(key)
+        epoch_stale = (
+            future is not None
+            and future.plan_epoch is not None
+            and future.plan_epoch != self.router.epoch
+        )
+        if epoch_stale:
+            if (
+                phase == "prepare"
+                and plan is not None
+                and not future.prepare_futures
+                and not future.commit_futures
+            ):
+                # Abort-and-replan: the stale staging touched no shard, so
+                # the clean restart needs no compensation. The generation
+                # bump retires every retry the stale attempt parked.
+                self.replanned_count += 1
+                future._stage_generation += 1
+                future.plan_epoch = self.router.epoch
+                self._stage_prepares(future, plan)
+                return
+        try:
+            shard_index = self.router.resolve_owner(key)
+        except MigrationInProgress as exc:
+            self.deferred_subs += 1
+            exc.migration.deferred_ops += 1
+            exc.migration.when_complete(
+                self._retry(key, op, pid=pid, deliver=deliver,
+                            future=future, plan=plan, phase=phase)
+            )
+            return
         cluster = self.router.deployment.shards[shard_index]
         candidates = [pid] + [
             replica
@@ -150,7 +234,17 @@ class CrossShardCoordinator:
         ]
         for candidate in candidates:
             if not cluster.nodes[candidate].crashed:
-                self.router.routed_counts[shard_index] += 1
+                if epoch_stale and shard_index != self.router.deployment.shard_maps.owner(
+                    key, epoch=future.plan_epoch
+                ):
+                    # A forward is a leg landing on a *different* shard
+                    # than the plan's epoch named — counted only on the
+                    # actual submission, so a leg that defers again (or
+                    # retries across several epochs) registers at most
+                    # one forward, and an epoch bump that left the key's
+                    # owner alone registers none.
+                    self.forwarded_subs += 1
+                self.router._count_routed(shard_index)
                 deliver(cluster.submit(candidate, op, strong=True))
                 return
         recoverable = [
@@ -160,37 +254,48 @@ class CrossShardCoordinator:
             # One-shot: crash hooks persist and re-fire at every later
             # recovery of the node, but the sub-operation must be staged
             # exactly once.
+            retry = self._retry(key, op, pid=pid, deliver=deliver,
+                                future=future, plan=plan, phase=phase)
             fired = [False]
 
-            def retry() -> None:
+            def once() -> None:
                 if fired[0]:
                     return
                 fired[0] = True
-                self._submit_resilient(key, op, pid=pid, deliver=deliver)
+                retry()
 
-            recoverable[0].register_crash_hooks(on_recover=retry)
+            recoverable[0].register_crash_hooks(on_recover=once)
             return
         self.lost_count += 1
 
-    def _count_down(
+    def _retry(self, key, op, *, pid, deliver, future, plan, phase):
+        """A parked re-submission, generation-guarded against replans."""
+        generation = future._stage_generation if future is not None else None
+
+        def fire() -> None:
+            if future is not None and future._stage_generation != generation:
+                return  # a replan already restaged this plan wholesale
+            self._submit_resilient(
+                key, op, pid=pid, deliver=deliver,
+                future=future, plan=plan, phase=phase,
+            )
+
+        return fire
+
+    def _decide(
         self,
-        remaining: List[int],
         future: CrossShardFuture,
         plan: CrossShardPlan,
+        values,
     ) -> None:
-        remaining[0] -= 1
-        if remaining[0] == 0:
-            self._decide(future, plan)
-
-    def _decide(self, future: CrossShardFuture, plan: CrossShardPlan) -> None:
         """All prepares stable: fix the outcome, stage the second phase.
 
-        The parent responds at the decision and stabilises once every
-        second-phase sub-operation has (prepares are strong, hence
-        already stable when this runs); a deferred sub-operation keeps
-        the parent un-stable until its shard recovered and committed it.
+        ``values`` are the prepare responses in *plan order*. The parent
+        responds at the decision and stabilises once every second-phase
+        sub-operation has (prepares are strong, hence already stable
+        when this runs); a deferred sub-operation keeps the parent
+        un-stable until its shard recovered and committed it.
         """
-        values = tuple(sub.value for sub in future.prepare_futures)
         success, rval = plan.decide(values)
         future.committed = success
         if success:
@@ -206,7 +311,13 @@ class CrossShardCoordinator:
 
         for sub in batch:
             self._submit_resilient(
-                sub.key, sub.op, pid=future.pid, deliver=on_staged
+                sub.key,
+                sub.op,
+                pid=future.pid,
+                deliver=on_staged,
+                future=future,
+                plan=plan,
+                phase="commit",
             )
         future._respond(rval, self.router.sim.now)
         if future._pending_subs == 0:

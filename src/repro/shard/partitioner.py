@@ -13,15 +13,25 @@ Two partitioners ship:
   salted per process and would break cross-run determinism) and placed
   modulo the shard count. Uniform keys spread uniformly.
 - :class:`RangePartitioner` — sorted split points divide the (ordered)
-  key universe into contiguous ranges, shard ``i`` owning the keys below
-  boundary ``i``. Range scans stay shard-local; skewed key traffic shows
-  up as shard hotspots, which E12 measures.
+  key universe into contiguous **half-open** ranges ``[lo, hi)``: a key
+  equal to a boundary belongs to the range *above* it. Range scans stay
+  shard-local; skewed key traffic shows up as shard hotspots, which E12
+  measures.
+
+Placement is *versioned*: a deployment's live map is the newest link of
+a :class:`VersionedShardMap` chain. Epoch 0 is the base :class:`ShardMap`;
+every live resharding step (:mod:`repro.shard.migration`) appends an
+immutable :class:`EpochShardMap` snapshot — the parent map plus one
+:class:`Reassignment` delta ("these keys leave shard *src* for shard
+*dst*"). Old epochs stay queryable, which is what lets stale-routed
+submissions be *forwarded* instead of refused.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -58,9 +68,15 @@ class RangePartitioner(Partitioner):
     ``boundaries`` are the sorted upper split points: shard 0 owns keys
     strictly below ``boundaries[0]``, shard ``i`` the keys in
     ``[boundaries[i-1], boundaries[i])``, and the last shard everything
-    from the final boundary up. With ``n_shards`` shards exactly
-    ``n_shards - 1`` boundaries are consulted; surplus boundaries are an
-    error caught at :class:`ShardMap` construction.
+    from the final boundary up. The ranges are **half-open**: a key
+    *equal* to a boundary always routes to the shard above it (the
+    boundary is that range's inclusive lower bound), so every key —
+    boundary values included — has exactly one deterministic owner. With
+    ``n_shards`` shards at most ``n_shards - 1`` boundaries are
+    meaningful; surplus boundaries are rejected here as well as at
+    :class:`ShardMap` construction (silently clamping them onto the last
+    shard would alias two documented ranges, making boundary keys route
+    somewhere the convention does not predict).
     """
 
     def __init__(self, boundaries: Sequence[Any]) -> None:
@@ -72,8 +88,17 @@ class RangePartitioner(Partitioner):
         self.boundaries: List[Any] = ordered
 
     def owner(self, key: Hashable, n_shards: int) -> int:
+        # bisect_right implements the half-open convention: for
+        # key == boundaries[i] it returns i + 1 — the boundary belongs
+        # to the upper range.
         index = bisect_right(self.boundaries, key)
-        return min(index, n_shards - 1)
+        if index >= n_shards:
+            raise ValueError(
+                f"key {key!r} falls in range {index} but only {n_shards} "
+                f"shards exist; {len(self.boundaries)} boundaries define "
+                f"{len(self.boundaries) + 1} ranges"
+            )
+        return index
 
     def describe(self) -> str:
         return f"range({self.boundaries!r})"
@@ -94,6 +119,10 @@ class ShardMap:
     """
 
     HOME_SHARD = 0
+
+    #: Placement version. The base map is epoch 0; derived
+    #: :class:`EpochShardMap` snapshots count up from it.
+    epoch = 0
 
     def __init__(
         self, n_shards: int, partitioner: Optional[Partitioner] = None
@@ -137,3 +166,151 @@ class ShardMap:
 
     def describe(self) -> str:
         return f"{self.n_shards} shards, {self.partitioner.describe()}"
+
+
+@dataclass(frozen=True)
+class Reassignment:
+    """One epoch's placement delta: some of ``src``'s keys move to ``dst``.
+
+    The delta is pure *data* (kind plus scalar parameters) — never a
+    callable — so the epoch chain can be persisted to a
+    :class:`~repro.core.durability.DurableStore` and replayed at
+    recovery to rebuild routing. Three kinds exist:
+
+    - ``"split"`` — half of ``src``'s keys (selected by a stable salted
+      SHA-256 bit, like :class:`HashPartitioner` placement) move to the
+      freshly spawned ``dst``;
+    - ``"merge"`` — *all* of ``src``'s keys move to ``dst``; ``src`` is
+      retired once the epoch activates;
+    - ``"move"`` — ``src``'s keys inside the half-open range
+      ``[params[0], params[1])`` move to ``dst`` (same convention as
+      :class:`RangePartitioner`: a key equal to the upper bound stays).
+    """
+
+    kind: str
+    src: int
+    dst: int
+    #: Kind-specific parameters (JSON-able scalars only).
+    params: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("split", "merge", "move"):
+            raise ValueError(f"unknown reassignment kind {self.kind!r}")
+        if self.src == self.dst:
+            raise ValueError(
+                f"reassignment src and dst must differ, got shard {self.src}"
+            )
+
+    def moves(self, key: Hashable, owner: int) -> bool:
+        """Whether ``key`` (owned by ``owner`` in the parent epoch) moves."""
+        if owner != self.src:
+            return False
+        if self.kind == "merge":
+            return True
+        if self.kind == "move":
+            lo, hi = self.params
+            return lo <= key < hi
+        salt = self.params[0]
+        digest = hashlib.sha256(f"{salt}:{key!r}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % 2 == 1
+
+    def describe(self) -> str:
+        if self.kind == "move":
+            lo, hi = self.params
+            return f"move [{lo!r}, {hi!r}) {self.src}->{self.dst}"
+        return f"{self.kind} {self.src}->{self.dst}"
+
+
+class EpochShardMap(ShardMap):
+    """An immutable epoch snapshot: a parent map plus one reassignment.
+
+    Built by :meth:`VersionedShardMap.advance`, never mutated. Lookups
+    recurse into the parent: ``owner(key)`` is the parent's owner unless
+    the reassignment moves the key. The chain is short in practice (one
+    link per resharding step), so recursion depth is not a concern.
+    """
+
+    def __init__(
+        self, parent: ShardMap, reassignment: Reassignment, n_shards: int
+    ) -> None:
+        if not 0 <= reassignment.src < parent.n_shards:
+            raise ValueError(
+                f"reassignment source shard {reassignment.src} does not "
+                f"exist in the parent epoch ({parent.n_shards} shards)"
+            )
+        if not 0 <= reassignment.dst < n_shards:
+            raise ValueError(
+                f"reassignment destination shard {reassignment.dst} is out "
+                f"of range (deployment has {n_shards} shard slots)"
+            )
+        self.n_shards = n_shards
+        self.partitioner = parent.partitioner
+        self.parent = parent
+        self.reassignment = reassignment
+        self.epoch = parent.epoch + 1
+
+    def owner(self, key: Hashable) -> int:
+        base = self.parent.owner(key)
+        if self.reassignment.moves(key, base):
+            return self.reassignment.dst
+        return base
+
+    def describe(self) -> str:
+        return (
+            f"epoch {self.epoch} ({self.reassignment.describe()}) over "
+            f"{self.parent.describe()}"
+        )
+
+
+class VersionedShardMap:
+    """The epoch chain of one deployment's placement.
+
+    Every epoch is an immutable snapshot; :meth:`advance` appends a new
+    one derived from the current head. Routers read :attr:`current`;
+    forwarding logic may consult any older epoch via :meth:`at`.
+    """
+
+    def __init__(self, base: ShardMap) -> None:
+        self._epochs: List[ShardMap] = [base]
+
+    @property
+    def epoch(self) -> int:
+        """The current (newest) epoch number."""
+        return len(self._epochs) - 1
+
+    @property
+    def current(self) -> ShardMap:
+        return self._epochs[-1]
+
+    def at(self, epoch: int) -> ShardMap:
+        """The immutable snapshot of one epoch (0 = the base map)."""
+        return self._epochs[epoch]
+
+    def advance(
+        self, reassignment: Reassignment, *, n_shards: Optional[int] = None
+    ) -> ShardMap:
+        """Append (and return) the next epoch's snapshot.
+
+        ``n_shards`` is the deployment's shard-slot count after the step
+        (a split spawns a slot; merges and moves keep the count).
+        """
+        slots = n_shards if n_shards is not None else self.current.n_shards
+        derived = EpochShardMap(self.current, reassignment, slots)
+        self._epochs.append(derived)
+        return derived
+
+    def owner(self, key: Hashable, *, epoch: Optional[int] = None) -> int:
+        """``key``'s owner under one epoch (default: the current one)."""
+        chosen = self.current if epoch is None else self._epochs[epoch]
+        return chosen.owner(key)
+
+    def chain(self) -> Tuple[Reassignment, ...]:
+        """The reassignment deltas, oldest first (epochs 1..n)."""
+        return tuple(
+            snapshot.reassignment
+            for snapshot in self._epochs[1:]
+            if isinstance(snapshot, EpochShardMap)
+        )
+
+    def describe(self) -> str:
+        return self.current.describe()

@@ -2,7 +2,8 @@
 
 The :class:`ShardRouter` hides the shard boundary from clients. It
 resolves every typed operation's keys (``DataType.keys_of``) against the
-deployment's :class:`~repro.shard.partitioner.ShardMap` and
+deployment's *current-epoch* :class:`~repro.shard.partitioner.ShardMap`
+and
 
 - submits shard-local operations (one owner shard, or unkeyed → home
   shard) directly to the owner's :class:`~repro.core.cluster.BayouCluster`
@@ -11,6 +12,16 @@ deployment's :class:`~repro.shard.partitioner.ShardMap` and
   :class:`~repro.shard.coordinator.CrossShardCoordinator`;
 - refuses multi-shard *weak* operations and plan-less multi-key types
   with :class:`~repro.errors.CrossShardError` at the call site.
+
+Routing is **route-at-epoch**: every resolved route carries the epoch it
+was computed under. A route that went stale while an operation sat in a
+session queue (a live resharding bumped the epoch) is *forwarded* —
+recomputed against the new epoch at launch, never refused
+(:attr:`ShardRouter.forwarded_count` counts shard-changing forwards).
+Keys mid-handoff raise :class:`~repro.errors.MigrationInProgress`, which
+the router and sessions catch internally: the submission is deferred and
+retried at epoch activation (:attr:`ShardRouter.deferred_count`) — the
+client only ever sees extra latency.
 
 :class:`ShardedSession` is the closed-loop facade: the same well-formed,
 one-outstanding-operation discipline as :class:`~repro.core.session.Session`,
@@ -22,11 +33,11 @@ expects, so random keyed workloads drive sharded deployments unchanged.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional, Tuple
+from typing import Any, Deque, Hashable, List, Optional, Tuple
 
 from repro.core.session import OpFuture, resolve_operation
 from repro.datatypes.base import Operation
-from repro.errors import CrossShardError
+from repro.errors import CrossShardError, MigrationInProgress
 from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
 from repro.shard.deployment import ShardedCluster
 
@@ -37,10 +48,22 @@ class ShardRouter:
     def __init__(self, deployment: ShardedCluster) -> None:
         self.deployment = deployment
         self.datatype = deployment.datatype
-        self.shard_map = deployment.shard_map
         self.coordinator = CrossShardCoordinator(self)
-        #: Operations routed per shard (for skew/placement reports).
+        #: Operations routed per shard (for skew/placement reports);
+        #: grows when a split spawns a shard.
         self.routed_counts: List[int] = [0] * deployment.n_shards
+        #: Stale-epoch routes whose recomputation changed the owner shard
+        #: (the operation was *forwarded* to the new owner, not refused).
+        self.forwarded_count = 0
+        #: Submissions deferred by an in-flight migration and retried at
+        #: epoch activation.
+        self.deferred_count = 0
+        #: Open-loop futures whose deferred retry found the operation had
+        #: *become* an invalid cross-shard request under the new epoch (a
+        #: weak multi-key op whose keys the resharding separated). They
+        #: stay pending forever — the keyspace-level analogue of a
+        #: session's refused list.
+        self.refused_futures: List[OpFuture] = []
 
     # -- cluster-surface compatibility (RandomWorkload, sessions) -------
     @property
@@ -51,9 +74,48 @@ class ShardRouter:
     def config(self):
         return self.deployment.config
 
+    # -- placement surface ----------------------------------------------
+    @property
+    def shard_map(self):
+        """The current-epoch placement snapshot (live; never cached)."""
+        return self.deployment.shard_map
+
+    @property
+    def epoch(self) -> int:
+        return self.deployment.epoch
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _count_routed(self, shard: int) -> None:
+        while len(self.routed_counts) < self.deployment.n_shards:
+            self.routed_counts.append(0)
+        self.routed_counts[shard] += 1
+
+    def _check_migration(self, key: Hashable, owner: int) -> None:
+        """Raise :class:`MigrationInProgress` if ``key`` is mid-handoff."""
+        migration = self.deployment.active_migrations.get(owner)
+        if migration is not None and migration.moves_key(key, owner):
+            raise MigrationInProgress(
+                f"key {key!r} is mid-handoff "
+                f"({migration.describe()}); the submission is deferred "
+                "until the new epoch activates",
+                migration=migration,
+                key=key,
+            )
+
+    def resolve_owner(self, key: Hashable) -> int:
+        """``key``'s owner shard under the current epoch.
+
+        Raises :class:`MigrationInProgress` while the key is mid-handoff
+        — the single chokepoint the coordinator's staged sub-operations
+        share with whole-operation routing.
+        """
+        owner = self.shard_map.owner(key)
+        if self.deployment.active_migrations:
+            self._check_migration(key, owner)
+        return owner
+
     def owners_of(self, op: Operation) -> Tuple[int, ...]:
         """The owner shards of ``op`` (home shard for unkeyed types)."""
         keys = self.datatype.keys_of(op)
@@ -66,9 +128,27 @@ class ShardRouter:
 
         Raises :class:`CrossShardError` for invalid multi-shard requests,
         so misrouted operations fail at the call site — before anything
-        was staged anywhere.
+        was staged anywhere — and :class:`MigrationInProgress` while any
+        of the operation's keys is mid-handoff (callers defer and retry).
+
+        Single-pass on the hot path: each key is extracted and
+        owner-hashed exactly once, and the migration check reuses the
+        owner just computed.
         """
-        owners = self.owners_of(op)
+        keys = self.datatype.keys_of(op)
+        if not keys:
+            # Unkeyed types live wholly on the home shard and have no
+            # per-key registers, so they can never be mid-migration.
+            return self.shard_map.HOME_SHARD, None
+        shard_map = self.shard_map
+        checking = bool(self.deployment.active_migrations)
+        owners: List[int] = []
+        for key in keys:
+            owner = shard_map.owner(key)
+            if checking:
+                self._check_migration(key, owner)
+            if owner not in owners:
+                owners.append(owner)
         if len(owners) == 1:
             return owners[0], None
         if not strong:
@@ -100,23 +180,79 @@ class ShardRouter:
 
         ``pid`` is the replica index *inside* the owner shard (every shard
         runs the same replica count, so the index is portable — a client
-        "near" replica 1 talks to replica 1 of every shard).
+        "near" replica 1 talks to replica 1 of every shard). If the keys
+        are mid-handoff the submission is deferred internally and the
+        returned future resolves once the retry lands post-activation.
         """
-        shard, plan = self.plan_route(op, strong=strong)
+        try:
+            shard, plan = self.plan_route(op, strong=strong)
+        except MigrationInProgress as exc:
+            return self._defer(pid, op, strong, future, exc)
         if plan is not None:
-            assert future is None or isinstance(future, CrossShardFuture)
+            if future is not None and not isinstance(future, CrossShardFuture):
+                return self._stage_adapted(op, plan, pid=pid, future=future)
             return self.coordinator.stage(op, plan, pid=pid, future=future)
-        self.routed_counts[shard] += 1
+        self._count_routed(shard)
         return self.deployment.shards[shard].submit(
             pid, op, strong=strong, future=future
         )
+
+    def _defer(
+        self,
+        pid: int,
+        op: Operation,
+        strong: bool,
+        future: Optional[OpFuture],
+        exc: MigrationInProgress,
+    ) -> OpFuture:
+        """The MigrationInProgress retry path: park, retry at activation."""
+        self.deferred_count += 1
+        exc.migration.deferred_ops += 1
+        if future is None:
+            future = OpFuture(op, strong=strong, pid=pid)
+
+        def retry() -> None:
+            # The retry runs inside the migration's activation callback;
+            # an exception here would abort the simulation step and every
+            # other parked retry behind it. An op that *became* an
+            # invalid cross-shard request under the new epoch is refused
+            # quietly instead (sessions handle the same case in
+            # _refresh_route).
+            try:
+                self.submit(pid, op, strong=strong, future=future)
+            except CrossShardError:
+                self.refused_futures.append(future)
+
+        exc.migration.when_complete(retry)
+        return future
+
+    def _stage_adapted(
+        self, op: Operation, plan, *, pid: int, future: OpFuture
+    ) -> OpFuture:
+        """Stage a plan behind a plain :class:`OpFuture`.
+
+        Happens when an epoch bump turned a queued (or deferred)
+        operation cross-shard after its future was created: the
+        coordinator stages its own :class:`CrossShardFuture` and the
+        client's original future mirrors its outcome.
+        """
+        if future.invoke_time is None:
+            future._mark_invoked(None, self.sim.now)
+        inner = self.coordinator.stage(op, plan, pid=pid)
+        inner.add_done_callback(
+            lambda f: future._respond_value(f.rval, self.sim.now)
+        )
+        inner.add_stable_callback(
+            lambda _f: future._mark_stable(self.sim.now)
+        )
+        return future
 
     def submit_to_owner(
         self, key: Any, op: Operation, *, strong: bool, pid: int = 0
     ) -> OpFuture:
         """Submit one staged sub-operation directly to ``key``'s shard."""
-        shard = self.shard_map.owner(key)
-        self.routed_counts[shard] += 1
+        shard = self.resolve_owner(key)
+        self._count_routed(shard)
         return self.deployment.shards[shard].submit(pid, op, strong=strong)
 
     def connect(
@@ -161,6 +297,12 @@ class ShardedSession:
     operation is routed to its owner shard at launch. Cross-shard strong
     operations yield a :class:`CrossShardFuture` that responds at the
     plan decision and stabilises with its last staged sub-operation.
+
+    Routes are cached on futures *with the epoch they were computed
+    under*: a queued operation whose epoch went stale by launch time is
+    re-routed (forwarded) against the live epoch, and one whose keys are
+    mid-handoff pauses the session until the migration activates — the
+    same pause discipline a crash-recovery window uses.
     """
 
     def __init__(
@@ -183,7 +325,9 @@ class ShardedSession:
         self.latencies: List[float] = []
         #: Every future this session ever issued, in submission order.
         self.futures: List[OpFuture] = []
-        #: Futures refused because an owner replica crash-stopped.
+        #: Futures refused because an owner replica crash-stopped, or
+        #: because an epoch bump made a queued weak multi-key operation
+        #: cross-shard (weak operations may never span shards).
         self.refused: List[OpFuture] = []
 
     # -- typed proxies ---------------------------------------------------
@@ -211,16 +355,24 @@ class ShardedSession:
         """Queue an operation; it runs when all earlier ones returned.
 
         Routing is resolved *now* — invalid cross-shard requests raise at
-        the call site, and the resolved route rides on the future (routing
-        is deterministic, so launch-time recomputation could never
-        disagree; key hashing happens once per operation).
+        the call site — and the resolved route rides on the future,
+        stamped with the current epoch. Launch revalidates the stamp: a
+        resharding between submit and launch re-routes instead of
+        trusting the stale shard (key hashing still happens once per
+        operation in the common, epoch-stable case). Keys mid-handoff at
+        submit time leave the route unresolved; launch retries them.
         """
-        shard, plan = self.router.plan_route(op, strong=strong)
-        if plan is not None:
-            future: OpFuture = CrossShardFuture(op, pid=self.pid)
+        try:
+            shard, plan = self.router.plan_route(op, strong=strong)
+        except MigrationInProgress:
+            future: OpFuture = OpFuture(op, strong=strong, pid=self.pid)
+            future._route = None
         else:
-            future = OpFuture(op, strong=strong, pid=self.pid)
-        future._route = (shard, plan)
+            if plan is not None:
+                future = CrossShardFuture(op, pid=self.pid)
+            else:
+                future = OpFuture(op, strong=strong, pid=self.pid)
+            future._route = (shard, plan, self.router.epoch)
         self._queue.append(future)
         self.futures.append(future)
         self._maybe_schedule_pump()
@@ -244,13 +396,58 @@ class ShardedSession:
             delay, self._pump, label=f"sharded client {self.pid} next"
         )
 
+    def _refresh_route(self, future: OpFuture) -> bool:
+        """Ensure the head future's route matches the live epoch.
+
+        Returns True when the future is launchable now. On a stale epoch
+        the route is recomputed (a shard-changing recomputation counts as
+        a forward); mid-handoff keys pause the session until activation;
+        an operation that *became* an invalid cross-shard request is
+        refused and the pump moves on.
+        """
+        route = getattr(future, "_route", None)
+        if (
+            route is not None
+            and route[2] == self.router.epoch
+            and not self.router.deployment.active_migrations
+        ):
+            # Fast path: the epoch is current and no handoff is in
+            # flight, so the cached route cannot have gone stale. With a
+            # migration staging, the route must be re-validated even at
+            # the same epoch — the op's keys may be mid-handoff, and
+            # launching them at the source past the snapshot freeze
+            # would lose the update.
+            return True
+        try:
+            shard, plan = self.router.plan_route(future.op, strong=future.strong)
+        except MigrationInProgress as exc:
+            # Count (and register the wake-up) once per migration: every
+            # later submission to this session re-pumps and re-lands here
+            # for the same parked head, which is the same logical
+            # deferral, not a new one.
+            if getattr(future, "_parked_on", None) is not exc.migration:
+                future._parked_on = exc.migration
+                self.router.deferred_count += 1
+                exc.migration.deferred_ops += 1
+                exc.migration.when_complete(self._maybe_schedule_pump)
+            return False
+        except CrossShardError:
+            assert self._queue[0] is future
+            self.refused.append(self._queue.popleft())
+            self._maybe_schedule_pump()
+            return False
+        if route is not None and route[0] != shard:
+            self.router.forwarded_count += 1
+        future._route = (shard, plan, self.router.epoch)
+        return True
+
     def _crashed_target_node(self, future: OpFuture):
         """The crashed replica a *single-shard* head op targets (or None).
 
         Cross-shard futures need no pre-check: the coordinator fails over
         to live replicas and defers across whole-shard recoveries itself.
         """
-        shard, plan = future._route
+        shard, plan, _epoch = future._route
         if plan is not None:
             return None
         node = self.router.deployment.shards[shard].nodes[self.pid]
@@ -259,6 +456,8 @@ class ShardedSession:
     def _pump(self) -> None:
         self._pump_scheduled = False
         if self._outstanding is not None or not self._queue:
+            return
+        if not self._refresh_route(self._queue[0]):
             return
         node = self._crashed_target_node(self._queue[0])
         if node is not None:
@@ -275,13 +474,20 @@ class ShardedSession:
 
     def _launch(self, future: OpFuture) -> None:
         self._outstanding = future
-        shard, plan = future._route
+        shard, plan, _epoch = future._route
         if plan is not None:
-            self.router.coordinator.stage(
-                future.op, plan, pid=self.pid, future=future
-            )
+            if isinstance(future, CrossShardFuture):
+                self.router.coordinator.stage(
+                    future.op, plan, pid=self.pid, future=future
+                )
+            else:
+                # The op became cross-shard after its (plain) future was
+                # created: stage behind an adapter.
+                self.router._stage_adapted(
+                    future.op, plan, pid=self.pid, future=future
+                )
         else:
-            self.router.routed_counts[shard] += 1
+            self.router._count_routed(shard)
             self.router.deployment.shards[shard].submit(
                 self.pid, future.op, strong=future.strong, future=future
             )

@@ -18,7 +18,7 @@ histories (the parent holds no single history position — see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 from repro.analysis.workload import RandomWorkload
 from repro.core.session import OpFuture
@@ -30,6 +30,7 @@ from repro.framework.history import History
 from repro.framework.predicates import check_ncc
 from repro.framework.session_guarantees import check_all_session_guarantees
 from repro.shard.deployment import ShardedCluster
+from repro.shard.migration import Migration
 from repro.shard.router import ShardedSession, ShardRouter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -53,6 +54,14 @@ class ShardedLiveRun:
 
     # -- wiring --------------------------------------------------------
     def _schedule_everything(self) -> None:
+        for at, kind, params, pid, transfer_delay in self.scenario._reshardings:
+            self.deployment.sim.schedule_at(
+                at,
+                lambda k=kind, p=params, i=pid, d=transfer_delay: (
+                    self._fire_resharding(k, p, i, d)
+                ),
+                label=f"scenario resharding {kind}{params}",
+            )
         for scripted in self.scenario._scripted:
             self.deployment.sim.schedule_at(
                 scripted.at,
@@ -82,6 +91,24 @@ class ShardedLiveRun:
         for time, hook in self.scenario._hooks:
             self.deployment.sim.schedule_at(
                 time, lambda h=hook: h(self), label="scenario hook"
+            )
+
+    def _fire_resharding(
+        self, kind: str, params, pid: int, transfer_delay: float
+    ) -> None:
+        if kind == "split":
+            self.deployment.split(
+                params[0], pid=pid, transfer_delay=transfer_delay
+            )
+        elif kind == "merge":
+            dst, src = params
+            self.deployment.merge(
+                dst, src, pid=pid, transfer_delay=transfer_delay
+            )
+        else:
+            lo, hi, dst = params
+            self.deployment.move(
+                (lo, hi), dst, pid=pid, transfer_delay=transfer_delay
             )
 
     def _fire_scripted(self, scripted) -> None:
@@ -136,13 +163,18 @@ class ShardedLiveRun:
     def converged(self) -> bool:
         return self.deployment.converged()
 
+    @property
+    def migrations(self) -> List[Migration]:
+        """Every resharding step this run has executed (or is executing)."""
+        return self.deployment.migrations
+
     # -- finishing -----------------------------------------------------
     def add_probes(self, *, max_time: float = 100_000.0) -> None:
-        """Issue the configured horizon probes on every shard."""
+        """Issue the configured horizon probes on every serving shard."""
         if self.scenario._probe_op is None:
             return
-        for shard in self.deployment.shards:
-            shard.add_horizon_probes(
+        for index in self.deployment.live_shard_indexes():
+            self.deployment.shards[index].add_horizon_probes(
                 self.scenario._probe_op, spacing=self.scenario._probe_spacing
             )
         self.settle(max_time=max_time)
@@ -192,6 +224,7 @@ class ShardedLiveRun:
             session_guarantees=session_guarantees,
             convergence=self.deployment.convergence_report(),
             refused=dict(self.refused),
+            migrations=list(self.deployment.migrations),
         )
 
 
@@ -213,6 +246,8 @@ class ShardedRunResult:
     session_guarantees: Optional[List[Dict[str, Any]]] = field(repr=False)
     convergence: Dict[str, Any] = field(repr=False)
     refused: Dict[str, float] = field(repr=False, default_factory=dict)
+    #: Resharding steps the run executed, in start order.
+    migrations: List[Migration] = field(repr=False, default_factory=list)
 
     # -- responses -----------------------------------------------------
     @property
@@ -227,6 +262,11 @@ class ShardedRunResult:
     @property
     def n_shards(self) -> int:
         return self.deployment.n_shards
+
+    @property
+    def epoch(self) -> int:
+        """The placement epoch the deployment finished on."""
+        return self.deployment.epoch
 
     @property
     def converged(self) -> bool:

@@ -235,3 +235,30 @@ def test_shard_json_artifact(tmp_path):
     assert artifact["all_bit_identical"]
     assert len(artifact["scaling"]) == 10
     assert len(artifact["conservation"]) == 2
+
+
+def test_cli_reshard_smoke(capsys):
+    """The E13 command runs end to end and prints both tables."""
+    assert main(["reshard"]) == 0
+    out = capsys.readouterr().out
+    assert "Live split under traffic" in out
+    assert "conservation" in out.lower()
+    assert "post-split deviation" in out
+
+
+def test_reshard_json_artifact(tmp_path):
+    """The E13 --json artifact carries the elasticity gates CI checks."""
+    import json
+
+    from repro.analysis.experiments import resharding
+
+    path = tmp_path / "E13.json"
+    resharding.main(["--json", str(path)])
+    artifact = json.loads(path.read_text())
+    assert artifact["experiment"] == "E13-resharding"
+    assert artifact["all_converged"]
+    assert artifact["all_conserved"]
+    assert artifact["max_post_split_deviation"] <= 0.10
+    assert artifact["min_dip_ratio"] > 0.0
+    assert len(artifact["splits"]) == 4
+    assert len(artifact["conservation"]) == 2
