@@ -1,0 +1,80 @@
+"""Benchmark E14 — autonomous rebalancing gates.
+
+Shapes reproduced / asserted, under the shifting Zipf hotspot whose
+rotation keys all hash to one shard (the adversary a static placement
+cannot follow):
+
+- **the controller closes the loop**: with ``autoscale()`` armed,
+  *every* shipped policy triggers at least one automatic migration —
+  no operator ever calls ``split``/``move`` — and every migration's
+  epoch activates with bit-identical per-shard convergence;
+- **the oracle gate**: controlled committed-op throughput lands within
+  25% of a clairvoyant static placement (the whole hotspot rotation
+  pre-isolated onto a dedicated shard before traffic starts — zero
+  detection lag, zero migration cost);
+- **self-healing beats standing still**: each controlled leg strictly
+  out-commits the no-controller baseline, which serves every hotspot
+  phase from the same queue.
+"""
+
+from repro.analysis.experiments.rebalancing import (
+    run_all,
+    run_baseline,
+    run_controlled,
+    run_oracle,
+    to_json,
+)
+
+#: The oracle gate: controlled throughput within 25% of clairvoyance.
+ORACLE_GAP_TOLERANCE = 0.25
+
+
+def test_controller_beats_baseline_and_tracks_oracle(bench):
+    """Both policies act, beat the baseline, and stay inside the gap."""
+    baseline = bench(run_baseline, bench_rounds=2)
+    oracle = run_oracle()
+    assert oracle.converged and baseline.converged
+    assert baseline.actions == 0 and oracle.actions == 0
+    for policy in ("power-of-two", "hot-key-isolation"):
+        row = run_controlled(policy)
+        assert row.converged, f"{policy}: deployment did not converge"
+        assert row.migrations_complete, (
+            f"{policy}: a controller-driven migration never activated"
+        )
+        assert row.actions >= 1, f"{policy}: the controller never acted"
+        assert row.epoch >= 1
+        assert row.committed_throughput > baseline.committed_throughput, (
+            f"{policy}: controlled {row.committed_throughput:.2f} does not "
+            f"beat baseline {baseline.committed_throughput:.2f}"
+        )
+        gap = 1.0 - row.committed_throughput / oracle.committed_throughput
+        assert gap <= ORACLE_GAP_TOLERANCE, (
+            f"{policy}: {100 * gap:.1f}% behind the oracle "
+            f"({row.committed_throughput:.2f} vs "
+            f"{oracle.committed_throughput:.2f}; gate "
+            f"{100 * ORACLE_GAP_TOLERANCE:.0f}%)"
+        )
+
+
+def test_isolation_spawns_and_spreading_does_not():
+    """The two policies reshape the deployment differently: isolation
+    grows the shard count, power-of-two only re-homes keys."""
+    spread = run_controlled("power-of-two")
+    isolate = run_controlled("hot-key-isolation")
+    assert spread.n_shards == 2
+    assert isolate.n_shards >= 3
+    # Both paid for their moves through the live protocol, not teleports.
+    assert spread.migrations == spread.actions
+    assert isolate.migrations == isolate.actions
+
+
+def test_artifact_gates_are_green():
+    """The JSON artifact CI uploads carries every gate, all true."""
+    artifact = to_json(run_all())
+    assert artifact["experiment"] == "E14-rebalancing"
+    assert artifact["all_converged"]
+    assert artifact["all_migrations_complete"]
+    assert artifact["every_controller_acted"]
+    assert artifact["every_policy_beats_baseline"]
+    assert artifact["worst_oracle_gap"] <= ORACLE_GAP_TOLERANCE
+    assert len(artifact["legs"]) == 4

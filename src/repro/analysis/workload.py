@@ -22,7 +22,7 @@ coordinator.
 from __future__ import annotations
 
 import random
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -67,6 +67,11 @@ class KeySampler:
     sample plus a :func:`bisect.bisect_left` — O(log n) per key.
     """
 
+    #: Whether the skew depends on simulated time (see
+    #: :class:`ShiftingHotspotSampler`); fixed-skew samplers pre-sample
+    #: eagerly, time-varying ones force the workload into lazy mode.
+    time_varying = False
+
     def __init__(self, keys: Sequence, weights: Optional[Sequence[float]] = None):
         self.keys = list(keys)
         if not self.keys:
@@ -95,9 +100,51 @@ class KeySampler:
         weights = [1.0 / (rank**s) for rank in range(1, len(keys) + 1)]
         return cls(keys, weights)
 
+    def set_now(self, now: float) -> None:
+        """Advance the sampler's clock (no-op for fixed skews)."""
+
     def sample(self, rng: random.Random):
         """Draw one key."""
         return self.keys[_weighted_index(self._cumulative, rng)]
+
+
+class ShiftingHotspotSampler(KeySampler):
+    """Zipf skew whose *hottest key rotates* at scheduled simulated times.
+
+    Phase ``p`` holds between ``shift_times[p-1]`` and ``shift_times[p]``;
+    in phase ``p`` the Zipf ranks are rotated by ``p`` positions over the
+    key list, so ``keys[p % len(keys)]`` is the hottest key, the next key
+    second-hottest, and so on. The *shape* of the skew never changes —
+    only which keys carry it — which is exactly the adversary a static
+    placement cannot follow and a placement controller must chase (E14).
+
+    The sampler is clocked externally: :class:`RandomWorkload` calls
+    :meth:`set_now` with the simulated time before each draw (lazy
+    submission mode, forced by ``time_varying``). Draw-count determinism
+    is unchanged — one weighted draw per key, same as the base class.
+    """
+
+    time_varying = True
+
+    def __init__(self, keys: Sequence, shift_times: Sequence[float], *, s: float = 1.1):
+        if s <= 0:
+            raise ValueError(f"zipf exponent must be positive, got {s!r}")
+        weights = [1.0 / (rank**s) for rank in range(1, len(keys) + 1)]
+        super().__init__(keys, weights)
+        self.shift_times = tuple(sorted(shift_times))
+        self._now = 0.0
+
+    def set_now(self, now: float) -> None:
+        self._now = now
+
+    def phase(self, now: Optional[float] = None) -> int:
+        """How many shifts have happened by ``now`` (default: the clock)."""
+        at = self._now if now is None else now
+        return bisect_right(self.shift_times, at)
+
+    def sample(self, rng: random.Random):
+        rank = _weighted_index(self._cumulative, rng)
+        return self.keys[(rank + self.phase()) % len(self.keys)]
 
 
 def make_sampler(
@@ -125,6 +172,9 @@ class WorkloadProfile:
     factories: List[Tuple[float, OpFactory]]
     strong_probability: float = 0.2
     strong_ops: frozenset = frozenset()
+    #: The key sampler the factories close over (keyed profiles only);
+    #: carried so the workload can clock a time-varying skew.
+    sampler: Optional[KeySampler] = None
     #: Cumulative factory weights, precomputed once (sampling is O(log n)).
     _cumulative: List[float] = field(
         init=False, repr=False, compare=False, default_factory=list
@@ -134,6 +184,16 @@ class WorkloadProfile:
         self._cumulative = _cumulative_weights(
             (weight for weight, _ in self.factories), label="factory"
         )
+
+    @property
+    def time_varying(self) -> bool:
+        """Whether key choice depends on simulated time (lazy sampling)."""
+        return self.sampler is not None and self.sampler.time_varying
+
+    def set_time(self, now: float) -> None:
+        """Clock the profile's sampler before a draw (lazy mode)."""
+        if self.sampler is not None:
+            self.sampler.set_now(now)
 
     def sample(self, rng: random.Random) -> Tuple[Operation, bool]:
         """Draw one (operation, strong?) pair."""
@@ -203,6 +263,7 @@ def kv_profile(
             (1.0, lambda rng: KVStore.remove(keys.sample(rng))),
         ],
         strong_probability=strong_probability,
+        sampler=keys,
     )
 
 
@@ -231,6 +292,7 @@ def bank_profile(
         ],
         strong_probability=strong_probability,
         strong_ops=frozenset({"transfer"}),
+        sampler=accounts,
     )
 
 
@@ -300,17 +362,42 @@ class RandomWorkload:
         Session ``i`` binds to replica index ``i mod n_replicas`` — with
         the default count that is exactly one session per replica, the
         historical behaviour.
+
+        Fixed-skew profiles pre-sample every operation here (the
+        historical behaviour, byte-identical streams under a seed). A
+        *time-varying* profile (:attr:`WorkloadProfile.time_varying`)
+        cannot: the key skew at simulated time ``t`` is unknowable at
+        time 0, so each session samples lazily — the next operation is
+        drawn when the previous one responds, with the sampler clocked
+        to the response's simulated time. Draw order per session rng is
+        identical in both modes.
         """
         n_replicas = self.cluster.config.n_replicas
+        lazy = self.profile.time_varying
         for index in range(self.n_sessions):
             session = self.cluster.connect(
                 index % n_replicas, think_time=self.think_time
             )
             rng = self.rngs.stream(f"session.{index}")
-            for _ in range(self.ops_per_session):
-                op, strong = self.profile.sample(rng)
-                session.submit(op, strong)
             self.sessions.append(session)
+            if lazy:
+                self._submit_next(session, rng, self.ops_per_session)
+            else:
+                for _ in range(self.ops_per_session):
+                    op, strong = self.profile.sample(rng)
+                    session.submit(op, strong)
+
+    def _submit_next(
+        self, session: Session, rng: random.Random, remaining: int
+    ) -> None:
+        """Lazy closed-loop submission: one draw per response."""
+        self.profile.set_time(self.cluster.sim.now)
+        op, strong = self.profile.sample(rng)
+        future = session.submit(op, strong)
+        if remaining > 1:
+            future.add_done_callback(
+                lambda _future: self._submit_next(session, rng, remaining - 1)
+            )
 
     @property
     def all_done(self) -> bool:

@@ -86,6 +86,12 @@ def _run_reshard() -> None:
     resharding.main([])
 
 
+def _run_rebalance() -> None:
+    from repro.analysis.experiments import rebalancing
+
+    rebalancing.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -99,6 +105,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "recovery": ("E11: crash-recovery — durable state, catch-up, convergence", _run_recovery),
     "shard": ("E12: sharded scaling, key skew, cross-shard strong transfers", _run_shard),
     "reshard": ("E13: live resharding — split under traffic, dip, conservation", _run_reshard),
+    "rebalance": ("E14: autonomous rebalancing — controller vs oracle under a moving hotspot", _run_rebalance),
 }
 
 

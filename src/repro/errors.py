@@ -69,6 +69,27 @@ class MigrationError(ReproError, RuntimeError):
     """
 
 
+class MigrationStrandedError(MigrationError):
+    """A live migration lost an endpoint and can never complete.
+
+    Raised semantics, not raised control flow: when every replica of a
+    migration endpoint crash-*stops* between the epoch barrier and the
+    epoch activation, the handoff is permanently wedged — the barrier
+    committed (or the install will never commit) and no replica remains
+    to drive the protocol forward. The deployment detects this at crash
+    time, marks the migration ``stranded`` (releasing ``converged()``
+    and the one-migration-per-shard slot instead of wedging them
+    forever), and surfaces an instance of this error in
+    ``ShardedRunResult.checks["migrations"]`` so scenario assertions see
+    a named failure rather than a hang.
+    """
+
+    def __init__(self, message: str, *, migration: Any = None):
+        super().__init__(message)
+        #: The stranded :class:`~repro.shard.migration.Migration`.
+        self.migration = migration
+
+
 class MigrationInProgress(ReproError, RuntimeError):
     """Raised when an operation's keys are mid-handoff between shards.
 

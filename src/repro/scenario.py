@@ -59,6 +59,7 @@ from repro.analysis.workload import (
     KEYED_PROFILES,
     PROFILES,
     RandomWorkload,
+    ShiftingHotspotSampler,
     WorkloadProfile,
     make_sampler,
 )
@@ -183,6 +184,8 @@ class Scenario:
         ] = []
         #: (at, kind, params, pid, transfer_delay) resharding steps.
         self._reshardings: List[Tuple[float, str, Tuple[Any, ...], int, float]] = []
+        #: PlacementController kwargs when autoscale() armed one.
+        self._autoscale: Optional[Dict[str, Any]] = None
         self._scripted: List[_ScriptedOp] = []
         self._clients: List[ScenarioClient] = []
         self._workloads: List[_WorkloadSpec] = []
@@ -420,6 +423,40 @@ class Scenario:
         self._reshardings.append((at, step[0], step[1], pid, transfer_delay))
         return self
 
+    def autoscale(
+        self,
+        policy: Any = "power-of-two",
+        *,
+        threshold: float = 1.5,
+        cooldown: float = 6.0,
+        interval: float = 2.0,
+        **controller_kwargs: Any,
+    ) -> "Scenario":
+        """Attach an autonomous placement controller (sharded only).
+
+        The :class:`~repro.shard.control.controller.PlacementController`
+        runs as a sim-scheduled control loop over the deployment: each
+        ``interval`` it reads the metrics plane (per-shard routed-op
+        counters plus a hot-key sketch the router exports), and when the
+        peak-to-mean load ratio crosses ``threshold`` it asks ``policy``
+        (a :class:`~repro.shard.control.strategy.PlacementPolicy` or a
+        registry name — ``"power-of-two"`` / ``"hot-key-isolation"``)
+        for a move/isolate, executed through the live-migration
+        protocol. ``cooldown`` rate-limits consecutive actions; further
+        knobs (``hysteresis``, ``lookback``, ``decay``,
+        ``transfer_delay``, ...) pass through to the controller. The
+        controller lands on the result
+        (:attr:`~repro.shard.scenario.ShardedRunResult.controller`).
+        """
+        self._autoscale = dict(
+            policy=policy,
+            threshold=threshold,
+            cooldown=cooldown,
+            interval=interval,
+            **controller_kwargs,
+        )
+        return self
+
     def filter(
         self, rule: FilterRule, *, shard: Optional[int] = None
     ) -> "Scenario":
@@ -522,6 +559,7 @@ class Scenario:
         keys: Optional[Sequence[Any]] = None,
         key_skew: str = "uniform",
         zipf_s: float = 1.1,
+        hotspot_shift: Optional[Sequence[float]] = None,
         sessions: Optional[int] = None,
     ) -> "Scenario":
         """Drive a random closed-loop workload (one session per replica).
@@ -529,26 +567,38 @@ class Scenario:
         ``keys``/``key_skew`` build a keyed profile (``"kv"``/``"bank"``
         only): operations draw their keys from ``keys`` under the named
         skew (``"uniform"`` or ``"zipf"`` with exponent ``zipf_s``) — the
-        shared generator behind E12's sharded sweeps. ``sessions``
+        shared generator behind E12's sharded sweeps. ``hotspot_shift``
+        lists simulated times at which the Zipf hot key *rotates* to the
+        next key (a :class:`ShiftingHotspotSampler`; implies a Zipf skew
+        and switches the workload to lazy per-response sampling — the
+        moving-hotspot adversary E14's controller chases). ``sessions``
         overrides the client count (default: one per replica index).
         """
         if isinstance(profile, str):
             kwargs: Dict[str, Any] = {}
             if strong_probability is not None:
                 kwargs["strong_probability"] = strong_probability
+            if hotspot_shift is not None and keys is None:
+                raise ValueError("hotspot_shift needs keys=[...] to rotate over")
             if keys is not None:
                 if profile not in KEYED_PROFILES:
                     raise ValueError(
                         f"profile {profile!r} is not keyed; keys/key_skew "
                         f"apply to {sorted(KEYED_PROFILES)}"
                     )
-                kwargs["sampler"] = make_sampler(keys, key_skew, zipf_s=zipf_s)
+                if hotspot_shift is not None:
+                    kwargs["sampler"] = ShiftingHotspotSampler(
+                        keys, hotspot_shift, s=zipf_s
+                    )
+                else:
+                    kwargs["sampler"] = make_sampler(keys, key_skew, zipf_s=zipf_s)
             profile = PROFILES[profile](**kwargs)
         else:
-            if keys is not None:
+            if keys is not None or hotspot_shift is not None:
                 raise ValueError(
-                    "keys/key_skew only apply to named profiles; build the "
-                    "KeySampler into your WorkloadProfile instead"
+                    "keys/key_skew/hotspot_shift only apply to named "
+                    "profiles; build the KeySampler into your "
+                    "WorkloadProfile instead"
                 )
             if strong_probability is not None:
                 profile = dataclasses.replace(
@@ -657,6 +707,11 @@ class Scenario:
         if self._reshardings:
             raise ValueError(
                 "resharding(...) needs a sharded scenario (call .shards(n) "
+                "first)"
+            )
+        if self._autoscale is not None:
+            raise ValueError(
+                "autoscale(...) needs a sharded scenario (call .shards(n) "
                 "first)"
             )
         config = self._compile_config()

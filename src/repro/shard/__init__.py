@@ -17,13 +17,28 @@ and gives clients a single keyspace-wide surface:
   — epoch-versioned placement (immutable per-epoch snapshots chained
   from the base map);
 - :class:`Migration` — the live resharding protocol behind
-  ``ShardedCluster.split/merge/move`` (epoch barrier through the source
-  TOB, committed-prefix snapshot + tentative-suffix handoff, activation).
+  ``ShardedCluster.split/merge/move/isolate`` (epoch barrier through the
+  source TOB, committed-prefix snapshot + tentative-suffix handoff,
+  activation);
+- :class:`PlacementController` / :class:`ShardStats` /
+  :class:`PlacementPolicy` — autonomous load-aware placement control:
+  the router exports per-shard load and hot keys into a metrics plane,
+  and a sim-scheduled control loop drives move/isolate migrations when
+  the load ratio crosses a threshold (:mod:`repro.shard.control`).
 
-Fluent entry points: ``Scenario(...).shards(n, partitioner=...)`` and
-``Scenario(...).resharding(at, split=...)``.
+Fluent entry points: ``Scenario(...).shards(n, partitioner=...)``,
+``Scenario(...).resharding(at, split=...)`` and
+``Scenario(...).autoscale(policy=...)``.
 """
 
+from repro.shard.control import (
+    HotKeyIsolation,
+    PlacementController,
+    PlacementPolicy,
+    PowerOfTwoChoices,
+    ShardStats,
+    SpaceSavingSketch,
+)
 from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
 from repro.shard.deployment import ShardedCluster
 from repro.shard.migration import Migration
@@ -44,15 +59,21 @@ __all__ = [
     "CrossShardFuture",
     "EpochShardMap",
     "HashPartitioner",
+    "HotKeyIsolation",
     "Migration",
     "Partitioner",
+    "PlacementController",
+    "PlacementPolicy",
+    "PowerOfTwoChoices",
     "RangePartitioner",
     "Reassignment",
     "ShardMap",
     "ShardRouter",
+    "ShardStats",
     "ShardedCluster",
     "ShardedLiveRun",
     "ShardedRunResult",
     "ShardedSession",
+    "SpaceSavingSketch",
     "VersionedShardMap",
 ]

@@ -1,0 +1,37 @@
+"""Autonomous placement control: stats plane, policies, control loop.
+
+The subsystem closing the loop PR 4/5 opened: `stats` observes per-shard
+load and hot keys online, `strategy` turns an imbalance into a single
+move/isolate decision, and `controller` drives that decision through the
+epoch-versioned migration protocol on the live deployment.
+"""
+
+from repro.shard.control.controller import ControlAction, PlacementController
+from repro.shard.control.stats import ShardStats, StatsWindow
+from repro.shard.control.strategy import (
+    POLICIES,
+    HotKeyIsolation,
+    PlacementAction,
+    PlacementPolicy,
+    PlacementView,
+    PowerOfTwoChoices,
+    make_policy,
+    single_key_range,
+)
+from repro.shard.control.topk import SpaceSavingSketch
+
+__all__ = [
+    "ControlAction",
+    "HotKeyIsolation",
+    "POLICIES",
+    "PlacementAction",
+    "PlacementController",
+    "PlacementPolicy",
+    "PlacementView",
+    "PowerOfTwoChoices",
+    "ShardStats",
+    "SpaceSavingSketch",
+    "StatsWindow",
+    "make_policy",
+    "single_key_range",
+]

@@ -1,0 +1,259 @@
+"""The placement control loop: observe → decide → migrate, autonomously.
+
+PR 5 built the *mechanism* (live ``split``/``merge``/``move`` under
+traffic); the :class:`PlacementController` is the *policy driver* that
+closes the loop. It runs as a sim-scheduled periodic tick on the
+deployment's own clock — deterministic under the seed like everything
+else — and each tick:
+
+1. **observes**: rolls the :class:`~repro.shard.control.stats.ShardStats`
+   window, decays the hot-key sketch (recency), and builds a
+   :class:`~repro.shard.control.strategy.PlacementView` of recent
+   per-shard loads and hot keys;
+2. **decides**: if the peak-to-mean load ratio crosses ``threshold``
+   (with hysteresis — see below) and no migration is in flight, asks
+   the configured policy for an action;
+3. **drives**: executes the action through the existing epoch-versioned
+   :class:`~repro.shard.migration.Migration` protocol
+   (``deployment.move`` / ``deployment.isolate``), records it in
+   :attr:`actions`, and arms the cooldown.
+
+**Stability controls.** Three guards keep the loop from thrashing:
+``threshold``/``hysteresis`` form a Schmitt trigger (act at
+``imbalance ≥ threshold``, then stay disarmed until imbalance falls
+back below ``hysteresis × threshold`` — a persistent borderline skew
+triggers once, not every tick); ``cooldown`` rate-limits actions in
+time; and each moved key is pinned for ``2 × cooldown`` so a policy can
+never bounce the same key back and forth between two shards.
+
+**Quiescence.** A naive periodic timer would keep the simulator alive
+forever. The controller instead goes *dormant* after a tick that saw no
+routed traffic and no in-flight migration; the stats sink's
+``on_activity`` hook re-arms it on the next routed op. Idle deployments
+therefore drain to quiescence exactly as before — the control loop
+costs zero events while nothing flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, TYPE_CHECKING
+
+from repro.errors import MigrationError
+from repro.shard.control.stats import ShardStats
+from repro.shard.control.strategy import (
+    PlacementAction,
+    PlacementPolicy,
+    PlacementView,
+    make_policy,
+    single_key_range,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.deployment import ShardedCluster
+    from repro.shard.migration import Migration
+    from repro.shard.router import ShardRouter
+
+
+@dataclass
+class ControlAction:
+    """One executed controller decision, for reports and assertions."""
+
+    at: float
+    tick: int
+    action: PlacementAction
+    migration: "Migration"
+
+    def describe(self) -> str:
+        return f"t={self.at:.1f} {self.action.describe()}"
+
+
+class PlacementController:
+    """Autonomous load-aware resharding over one sharded deployment."""
+
+    def __init__(
+        self,
+        router: "ShardRouter",
+        policy: Any = "power-of-two",
+        *,
+        stats: Optional[ShardStats] = None,
+        interval: float = 2.0,
+        threshold: float = 1.5,
+        hysteresis: float = 0.8,
+        cooldown: float = 6.0,
+        lookback: int = 3,
+        min_window_ops: int = 8,
+        decay: float = 0.5,
+        transfer_delay: float = 0.0,
+        topk: int = 8,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if threshold < 1.0:
+            raise ValueError(f"threshold must be >= 1.0, got {threshold!r}")
+        if not 0.0 < hysteresis <= 1.0:
+            raise ValueError(f"hysteresis must be in (0, 1], got {hysteresis!r}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown!r}")
+        self.router = router
+        self.deployment: "ShardedCluster" = router.deployment
+        self.policy: PlacementPolicy = make_policy(policy)
+        self.stats = stats if stats is not None else ShardStats(
+            self.deployment.n_shards
+        )
+        self.interval = interval
+        self.threshold = threshold
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self.lookback = lookback
+        #: Below this many routed ops per lookback window span, load
+        #: ratios are noise and the controller holds still.
+        self.min_window_ops = min_window_ops
+        self.decay = decay
+        self.transfer_delay = transfer_delay
+        self.topk = topk
+        #: Executed decisions, in order (the experiment read surface).
+        self.actions: List[ControlAction] = []
+        #: Control ticks evaluated (dormant periods excluded).
+        self.ticks = 0
+        #: Ticks that crossed the threshold but were vetoed (cooldown,
+        #: hysteresis, in-flight migration, or the policy declined).
+        self.held_back = 0
+        self._armed = True
+        self._cooldown_until = float("-inf")
+        self._moved_at: Dict[Hashable, float] = {}
+        self._started = False
+        self._stopped = False
+        self._dormant = True
+        self._tick_scheduled = False
+        self.stats.ensure_shards(self.deployment.n_shards)
+        router.attach_stats(self.stats)
+        self.stats.on_activity = self._wake
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the control loop (first tick one interval from now)."""
+        if self._started:
+            return
+        self._started = True
+        self._dormant = False
+        self._schedule_tick()
+
+    def stop(self) -> None:
+        """Permanently stop the loop (pending tick events become no-ops)."""
+        self._stopped = True
+
+    def _wake(self) -> None:
+        """Traffic resumed while dormant: re-arm the tick."""
+        if self._started and self._dormant and not self._stopped:
+            self._dormant = False
+            self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        if self._tick_scheduled:
+            return
+        self._tick_scheduled = True
+        self.deployment.sim.schedule(
+            self.interval, self._tick, label="placement controller tick"
+        )
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._tick_scheduled = False
+        if self._stopped:
+            return
+        now = self.deployment.sim.now
+        window = self.stats.roll(now)
+        migrating = bool(self.deployment.active_migrations)
+        if window.total == 0 and not migrating:
+            # Nothing flowed and nothing is in flight: go dormant. The
+            # stats sink's on_activity hook revives the loop, so an idle
+            # deployment quiesces instead of ticking forever.
+            self._dormant = True
+            return
+        self.ticks += 1
+        view = self._view(now)
+        ratio = view.imbalance
+        if not self._armed and ratio < self.threshold * self.hysteresis:
+            self._armed = True
+        if ratio >= self.threshold and view.total_load >= self.min_window_ops:
+            if (
+                self._armed
+                and not migrating
+                and now >= self._cooldown_until
+            ):
+                action = self.policy.decide(view)
+                if action is not None:
+                    self._execute(action, now)
+                else:
+                    self.held_back += 1
+            else:
+                self.held_back += 1
+        self.stats.sketch.scale(self.decay)
+        self._schedule_tick()
+
+    def _view(self, now: float) -> PlacementView:
+        live = self.deployment.live_shard_indexes()
+        self.stats.ensure_shards(self.deployment.n_shards)
+        loads = self.stats.recent_loads(self.lookback)
+        pin_horizon = now - 2 * self.cooldown
+        self._moved_at = {
+            key: at for key, at in self._moved_at.items() if at > pin_horizon
+        }
+        return PlacementView(
+            now=now,
+            loads={shard: loads[shard] for shard in live},
+            hot_keys=self.stats.hot_keys(self.topk),
+            owner=self.deployment.shard_map.owner,
+            recently_moved=frozenset(self._moved_at),
+            n_shards=len(live),
+        )
+
+    def _execute(self, action: PlacementAction, now: float) -> None:
+        key_range = single_key_range(action.key)
+        try:
+            if action.kind == "isolate":
+                migration = self.deployment.isolate(
+                    key_range, src=action.src,
+                    transfer_delay=self.transfer_delay,
+                )
+            elif action.kind == "move":
+                assert action.dst is not None
+                migration = self.deployment.move(
+                    key_range, action.dst, src=action.src,
+                    transfer_delay=self.transfer_delay,
+                )
+            else:
+                raise MigrationError(
+                    f"policy returned unknown action kind {action.kind!r}"
+                )
+        except MigrationError:
+            # A refused migration (endpoint mid-handoff after all, shard
+            # crashed, ...) is a held-back tick, not a crash: the loop
+            # re-evaluates next interval against fresh state.
+            self.held_back += 1
+            return
+        self._moved_at[action.key] = now
+        self._armed = False
+        self._cooldown_until = now + self.cooldown
+        self.actions.append(ControlAction(now, self.ticks, action, migration))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """A JSON-able summary for experiment artifacts."""
+        return {
+            "policy": self.policy.describe(),
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "held_back": self.held_back,
+            "actions": [record.describe() for record in self.actions],
+            "stats": self.stats.describe(),
+        }

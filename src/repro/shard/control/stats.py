@@ -1,0 +1,177 @@
+"""The metrics plane: what the placement controller observes.
+
+A :class:`ShardStats` sink is attached to a
+:class:`~repro.shard.router.ShardRouter`
+(:meth:`~repro.shard.router.ShardRouter.attach_stats`); from then on the
+router and its :class:`~repro.shard.router.ShardedSession` clients export
+three signals as traffic flows:
+
+- **routed ops** — every shard-local submission increments its owner
+  shard's counter and offers the operation's keys to a
+  :class:`~repro.shard.control.topk.SpaceSavingSketch`, so per-shard
+  load *and* the identity of the hot keys are both online;
+- **deferred ops** — submissions parked by an in-flight migration
+  (the ``MigrationInProgress`` retry path), the controller's own cost
+  signal: aggressive rebalancing shows up here first;
+- **weak-op staleness** — ``stable_time − response_time`` samples from
+  session clients, the freshness price clients pay while placement is
+  in flux.
+
+Counters accumulate into the *live* window; :meth:`roll` closes it into
+a ring buffer of :class:`StatsWindow` snapshots (bounded memory — the
+streaming-first discipline the ROADMAP demands) and starts a fresh one.
+The controller rolls once per control tick, then reads
+:meth:`recent_loads` over the last few closed windows, so decisions see
+recent traffic, not the whole run's history. Everything here is plain
+counting on the routing path — no simulator events, no timers — and the
+``on_activity`` hook is how a dormant controller learns that traffic
+resumed without polling an idle deployment.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Hashable, Iterable, List, Optional, Tuple
+
+from repro.shard.control.topk import SpaceSavingSketch
+
+
+@dataclass
+class StatsWindow:
+    """One closed observation interval of the metrics plane."""
+
+    index: int
+    start: float
+    end: float
+    #: Shard-local operations routed per shard during the window.
+    routed: Tuple[int, ...]
+    #: Submissions deferred by in-flight migrations during the window.
+    deferred: int
+    #: Weak-op staleness samples folded online: (count, sum, max).
+    staleness_count: int
+    staleness_sum: float
+    staleness_max: float
+
+    @property
+    def total(self) -> int:
+        return sum(self.routed)
+
+    @property
+    def mean_staleness(self) -> float:
+        if self.staleness_count == 0:
+            return 0.0
+        return self.staleness_sum / self.staleness_count
+
+
+class ShardStats:
+    """Ring-buffered per-shard load counters plus a hot-key sketch."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        window_limit: int = 64,
+        topk_capacity: int = 32,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.sketch = SpaceSavingSketch(topk_capacity)
+        #: Closed windows, oldest first, bounded by ``window_limit``.
+        self.windows: Deque[StatsWindow] = deque(maxlen=window_limit)
+        #: Lifetime totals (never reset; cheap scalars only).
+        self.total_routed: List[int] = [0] * n_shards
+        self.total_deferred = 0
+        self.total_staleness_samples = 0
+        #: Called on every recorded routed op — the controller's wake-up.
+        self.on_activity: Optional[Callable[[], None]] = None
+        self._window_index = 0
+        self._window_start = 0.0
+        self._live_routed: List[int] = [0] * n_shards
+        self._live_deferred = 0
+        self._live_staleness = (0, 0.0, 0.0)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._live_routed)
+
+    def ensure_shards(self, n_shards: int) -> None:
+        """Grow the per-shard counters after a split spawned a shard."""
+        while len(self._live_routed) < n_shards:
+            self._live_routed.append(0)
+            self.total_routed.append(0)
+
+    # ------------------------------------------------------------------
+    # Recording (the routing-path exports)
+    # ------------------------------------------------------------------
+    def record_op(self, shard: int, keys: Iterable[Hashable]) -> None:
+        """One shard-local operation routed to ``shard`` touching ``keys``."""
+        self.ensure_shards(shard + 1)
+        self._live_routed[shard] += 1
+        self.total_routed[shard] += 1
+        for key in keys:
+            self.sketch.offer(key)
+        if self.on_activity is not None:
+            self.on_activity()
+
+    def record_deferred(self) -> None:
+        """One submission parked by an in-flight migration."""
+        self._live_deferred += 1
+        self.total_deferred += 1
+
+    def record_staleness(self, value: float) -> None:
+        """One weak-op staleness sample (stable − response time)."""
+        count, total, peak = self._live_staleness
+        self._live_staleness = (count + 1, total + value, max(peak, value))
+        self.total_staleness_samples += 1
+
+    # ------------------------------------------------------------------
+    # Windowing (the controller's read surface)
+    # ------------------------------------------------------------------
+    def roll(self, now: float) -> StatsWindow:
+        """Close the live window into the ring and start a fresh one."""
+        count, total, peak = self._live_staleness
+        window = StatsWindow(
+            index=self._window_index,
+            start=self._window_start,
+            end=now,
+            routed=tuple(self._live_routed),
+            deferred=self._live_deferred,
+            staleness_count=count,
+            staleness_sum=total,
+            staleness_max=peak,
+        )
+        self.windows.append(window)
+        self._window_index += 1
+        self._window_start = now
+        self._live_routed = [0] * len(self._live_routed)
+        self._live_deferred = 0
+        self._live_staleness = (0, 0.0, 0.0)
+        return window
+
+    def recent_loads(self, lookback: int = 3) -> List[float]:
+        """Per-shard routed-op sums over the last ``lookback`` closed windows.
+
+        Shards spawned mid-run appear with the zeros they earned: a
+        window closed before the spawn simply has no column for them.
+        """
+        loads = [0.0] * self.n_shards
+        for window in list(self.windows)[-lookback:]:
+            for shard, routed in enumerate(window.routed):
+                loads[shard] += routed
+        return loads
+
+    def hot_keys(self, n: int = 8) -> List[Tuple[Hashable, float]]:
+        """The sketch's ``n`` heaviest keys as ``(key, estimated_count)``."""
+        return [(key, count) for key, count, _error in self.sketch.top(n)]
+
+    def describe(self) -> dict:
+        """A JSON-able summary for reports and experiment artifacts."""
+        return {
+            "total_routed": list(self.total_routed),
+            "total_deferred": self.total_deferred,
+            "windows": len(self.windows),
+            "hot_keys": [
+                [repr(key), round(count, 2)] for key, count in self.hot_keys(5)
+            ],
+        }

@@ -1,0 +1,246 @@
+"""Pluggable placement policies: how an imbalance becomes a migration.
+
+A :class:`PlacementPolicy` is a pure decision function: given a
+:class:`PlacementView` (the controller's snapshot of recent per-shard
+loads, the hot-key sketch and current ownership), it returns either a
+:class:`PlacementAction` or ``None``. Policies never touch the
+deployment — the :class:`~repro.shard.control.controller.PlacementController`
+owns thresholds, hysteresis, cooldowns and execution, so a policy stays
+a few lines of deterministic arithmetic that is trivial to unit-test.
+
+Two policies ship (select by instance or by name via
+``Scenario.autoscale(policy=...)``):
+
+- :class:`PowerOfTwoChoices` (``"power-of-two"``) — move the hottest
+  key off the most-loaded shard onto the less loaded of the two
+  least-loaded shards. The classical balls-into-bins result (Azar et
+  al.) samples two random bins and picks the emptier; the deterministic
+  simulator has no useful randomness to spend, so the two candidates
+  are the two coldest shards — same shape, replayable decisions. Keeps
+  the shard count fixed: pure load spreading.
+- :class:`HotKeyIsolation` (``"hot-key-isolation"``) — when one key
+  carries at least ``hot_share`` of its owner shard's recent traffic,
+  no amount of spreading helps: wherever the key lands becomes the new
+  hotspot. Spawn a fresh shard and hand it exactly that key (the
+  deployment's :meth:`~repro.shard.deployment.ShardedCluster.isolate`),
+  up to ``max_shards``; past the cap it degrades to moving the key to
+  the coldest shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+
+def single_key_range(key: Hashable) -> Tuple[Any, Any]:
+    """The half-open range ``[lo, hi)`` containing exactly ``key``.
+
+    Single-key moves ride the ordinary range-move migration, so the
+    moving set must be expressible as a range. Strings get the smallest
+    possible upper bound (``key + "\\x00"``); integers get ``key + 1``.
+    """
+    if isinstance(key, str):
+        return (key, key + "\x00")
+    if isinstance(key, bool):  # bool is an int; reject it explicitly
+        raise TypeError(f"cannot form a key range over {key!r}")
+    if isinstance(key, int):
+        return (key, key + 1)
+    raise TypeError(
+        f"cannot form a single-key range for {key!r}; placement policies "
+        "need str or int keys (orderable with an adjacent upper bound)"
+    )
+
+
+@dataclass(frozen=True)
+class PlacementAction:
+    """One decided resharding step, ready for the controller to execute."""
+
+    #: ``"move"`` (re-home a key on an existing shard) or ``"isolate"``
+    #: (spawn a fresh shard for the key).
+    kind: str
+    key: Hashable
+    src: int
+    #: Destination shard; None for ``"isolate"`` (the spawned slot).
+    dst: Optional[int]
+    reason: str
+
+    def describe(self) -> str:
+        target = "new shard" if self.dst is None else f"shard {self.dst}"
+        return f"{self.kind} {self.key!r}: S{self.src} -> {target} ({self.reason})"
+
+
+@dataclass
+class PlacementView:
+    """The controller's decision snapshot, handed to policies each tick."""
+
+    now: float
+    #: Recent routed-op load per *live* shard index (retired excluded).
+    loads: Dict[int, float]
+    #: ``(key, estimated_count)`` from the sketch, heaviest first.
+    hot_keys: List[Tuple[Hashable, float]]
+    #: Current-epoch ownership lookup.
+    owner: Callable[[Hashable], int] = field(repr=False)
+    #: Keys the controller moved recently (still inside their per-key
+    #: cooldown) — policies must not bounce them again.
+    recently_moved: frozenset = frozenset()
+    #: Live shard count (spawn decisions compare against a cap).
+    n_shards: int = 0
+
+    @property
+    def total_load(self) -> float:
+        return sum(self.loads.values())
+
+    @property
+    def mean_load(self) -> float:
+        return self.total_load / len(self.loads) if self.loads else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Peak-to-mean load ratio (1.0 = perfectly even)."""
+        mean = self.mean_load
+        return max(self.loads.values()) / mean if mean > 0 else 1.0
+
+    def hottest_shard(self) -> int:
+        """The most-loaded live shard (ties: lowest index)."""
+        return max(sorted(self.loads), key=lambda s: self.loads[s])
+
+    def coldest_shards(self, n: int = 1, *, excluding: Tuple[int, ...] = ()) -> List[int]:
+        """The ``n`` least-loaded live shards (ties: lowest index)."""
+        candidates = [s for s in sorted(self.loads) if s not in excluding]
+        return sorted(candidates, key=lambda s: (self.loads[s], s))[:n]
+
+    def movable_hot_keys(self, shard: int) -> List[Tuple[Hashable, float]]:
+        """Sketch keys owned by ``shard``, skipping recently moved ones."""
+        return [
+            (key, count)
+            for key, count in self.hot_keys
+            if key not in self.recently_moved and self.owner(key) == shard
+        ]
+
+
+class PlacementPolicy:
+    """Decides one placement action from a view (or declines)."""
+
+    name = "abstract"
+
+    def decide(self, view: PlacementView) -> Optional[PlacementAction]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class PowerOfTwoChoices(PlacementPolicy):
+    """Move the hottest key of the hottest shard to the colder of the
+    two least-loaded shards."""
+
+    name = "power-of-two"
+
+    def decide(self, view: PlacementView) -> Optional[PlacementAction]:
+        if len(view.loads) < 2:
+            return None
+        hot = view.hottest_shard()
+        candidates = view.movable_hot_keys(hot)
+        if not candidates:
+            return None
+        key, count = candidates[0]
+        choices = view.coldest_shards(2, excluding=(hot,))
+        if not choices:
+            return None
+        # The "two choices": among the two coldest shards, pick the one
+        # with less load (ties break toward the lower index — already
+        # the coldest_shards order).
+        dst = choices[0]
+        # Moving the key must actually flatten the imbalance: if even the
+        # coldest destination plus the key's traffic would exceed the
+        # source's remainder, the move only relocates the hotspot.
+        if view.loads[dst] + count > view.loads[hot]:
+            return None
+        return PlacementAction(
+            kind="move",
+            key=key,
+            src=hot,
+            dst=dst,
+            reason=(
+                f"shard {hot} at {view.loads[hot]:.0f} ops vs mean "
+                f"{view.mean_load:.0f}; key carries {count:.0f}"
+            ),
+        )
+
+
+class HotKeyIsolation(PlacementPolicy):
+    """Give a dominating hot key its own shard (spawned live)."""
+
+    name = "hot-key-isolation"
+
+    def __init__(self, *, hot_share: float = 0.4, max_shards: int = 8) -> None:
+        if not 0.0 < hot_share <= 1.0:
+            raise ValueError(f"hot_share must be in (0, 1], got {hot_share!r}")
+        if max_shards < 2:
+            raise ValueError(f"max_shards must be >= 2, got {max_shards}")
+        self.hot_share = hot_share
+        self.max_shards = max_shards
+        #: Keys this policy already isolated (their own shard exists).
+        self.isolated: set = set()
+
+    def describe(self) -> str:
+        return f"{self.name}(hot_share={self.hot_share}, max_shards={self.max_shards})"
+
+    def decide(self, view: PlacementView) -> Optional[PlacementAction]:
+        for key, count in view.hot_keys:
+            if key in view.recently_moved or key in self.isolated:
+                continue
+            src = view.owner(key)
+            load = view.loads.get(src, 0.0)
+            if load <= 0 or count / load < self.hot_share:
+                # hot_keys is heaviest-first: if this key does not
+                # dominate its shard, no later (lighter) key will.
+                return None
+            if view.n_shards < self.max_shards:
+                self.isolated.add(key)
+                return PlacementAction(
+                    kind="isolate",
+                    key=key,
+                    src=src,
+                    dst=None,
+                    reason=(
+                        f"key carries {count:.0f} of shard {src}'s "
+                        f"{load:.0f} recent ops (≥ {self.hot_share:.0%})"
+                    ),
+                )
+            # At the shard cap: fall back to spreading.
+            choices = view.coldest_shards(1, excluding=(src,))
+            if not choices or view.loads[choices[0]] + count > load:
+                return None
+            self.isolated.add(key)
+            return PlacementAction(
+                kind="move",
+                key=key,
+                src=src,
+                dst=choices[0],
+                reason=f"shard cap {self.max_shards} reached; spreading instead",
+            )
+        return None
+
+
+#: Name → factory, for ``Scenario.autoscale(policy="...")``.
+POLICIES = {
+    PowerOfTwoChoices.name: PowerOfTwoChoices,
+    HotKeyIsolation.name: HotKeyIsolation,
+}
+
+
+def make_policy(policy: Any) -> PlacementPolicy:
+    """Resolve a policy instance or registry name to an instance."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return POLICIES[policy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown placement policy {policy!r} "
+                f"(available: {sorted(POLICIES)})"
+            ) from None
+    raise TypeError(f"policy must be a PlacementPolicy or name, got {policy!r}")

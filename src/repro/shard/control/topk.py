@@ -1,0 +1,119 @@
+"""Space-saving top-k: online heavy-hitter detection for hot keys.
+
+The placement controller needs to know *which* keys are hot without
+remembering every key ever routed — a 64-shard deployment under a
+million-key workload cannot afford a per-key counter table. The
+space-saving sketch (Metwally, Agrawal & El Abbadi, "Efficient
+computation of frequent and top-k elements in data streams", ICDT 2005)
+tracks at most ``capacity`` counters and guarantees that any key whose
+true frequency exceeds ``N / capacity`` is present in the sketch, with a
+per-entry overestimation bound (:attr:`Entry.error`).
+
+The algorithm: a monitored key increments its counter; an unmonitored
+key *replaces* the minimum-count entry, inheriting its count as the
+error bound (the replaced key's hits may have been mis-attributed).
+Everything is deterministic — ties are broken by insertion sequence, so
+the same routed-op stream always produces the same sketch, which keeps
+controller decisions replayable under a seed.
+
+:meth:`SpaceSavingSketch.scale` multiplies every counter by a decay
+factor. The controller applies it once per control tick, turning the
+cumulative sketch into an exponentially-decayed recency view: a hotspot
+that *moved* fades within a few ticks instead of dominating the top-k
+forever — exactly what chasing a shifting Zipf hot key requires.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+
+@dataclass
+class Entry:
+    """One monitored key: estimated count and overestimation bound."""
+
+    key: Hashable
+    count: float
+    #: Upper bound on the overestimation of ``count`` (the count the
+    #: evicted predecessor carried when this key took its slot). The true
+    #: frequency lies in ``[count - error, count]``.
+    error: float
+    #: Insertion sequence — the deterministic tie-break for evictions.
+    seq: int = field(default=0, compare=False)
+
+
+class SpaceSavingSketch:
+    """Bounded-memory top-k frequency sketch over a key stream."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[Hashable, Entry] = {}
+        self._seq = itertools.count()
+        #: Total weight offered (before any decay), for share estimates.
+        self.offered = 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def offer(self, key: Hashable, weight: float = 1.0) -> None:
+        """Count one observation of ``key`` (``weight`` observations)."""
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight!r}")
+        self.offered += weight
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.count += weight
+            return
+        if len(self._entries) < self.capacity:
+            self._entries[key] = Entry(key, weight, 0.0, next(self._seq))
+            return
+        victim = min(self._entries.values(), key=lambda e: (e.count, e.seq))
+        del self._entries[victim.key]
+        # The newcomer inherits the victim's count as its error bound:
+        # every hit the victim counted *might* have been the newcomer's.
+        self._entries[key] = Entry(
+            key, victim.count + weight, victim.count, next(self._seq)
+        )
+
+    def count(self, key: Hashable) -> float:
+        """The estimated count of ``key`` (0.0 when unmonitored)."""
+        entry = self._entries.get(key)
+        return entry.count if entry is not None else 0.0
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[Hashable, float, float]]:
+        """The ``n`` heaviest keys as ``(key, count, error)``, heaviest first.
+
+        Deterministic: equal counts order by insertion sequence.
+        """
+        ranked = sorted(
+            self._entries.values(), key=lambda e: (-e.count, e.seq)
+        )
+        if n is not None:
+            ranked = ranked[:n]
+        return [(entry.key, entry.count, entry.error) for entry in ranked]
+
+    def scale(self, factor: float) -> None:
+        """Decay every counter by ``factor`` (exponential recency).
+
+        Entries decayed below one observation are dropped — they are
+        indistinguishable from noise and their slots should go to fresh
+        traffic.
+        """
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"decay factor must be in [0, 1], got {factor!r}")
+        self.offered *= factor
+        if factor == 0.0:
+            self._entries.clear()
+            return
+        dead = []
+        for entry in self._entries.values():
+            entry.count *= factor
+            entry.error *= factor
+            if entry.count < 1.0:
+                dead.append(entry.key)
+        for key in dead:
+            del self._entries[key]

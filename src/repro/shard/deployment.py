@@ -80,6 +80,9 @@ class ShardedCluster:
         self.active_migrations: Dict[int, Migration] = {}
         #: Every migration ever run, in start order (for reports).
         self.migrations: List[Migration] = []
+        #: Migrations permanently wedged by an endpoint losing every
+        #: replica to crash-stop (they also stay in ``migrations``).
+        self.stranded: List[Migration] = []
         #: Shards retired by a merge: excluded from traffic, probes and
         #: convergence (their logs still drain so in-flight futures
         #: settle, but they own no keys under the active epoch).
@@ -196,6 +199,40 @@ class ShardedCluster:
             pid=pid,
             transfer_delay=transfer_delay,
         )
+        migration.spawned_dst = True
+        self._spawn_shard()
+        return self._start_migration(migration)
+
+    def isolate(
+        self,
+        key_range: Tuple[Hashable, Hashable],
+        *,
+        src: Optional[int] = None,
+        pid: int = 0,
+        transfer_delay: float = 0.0,
+    ) -> Migration:
+        """Spawn a fresh shard and hand it exactly ``[lo, hi)``.
+
+        A split's surgical sibling: where :meth:`split` halves a shard by
+        hash, ``isolate`` carves out a *chosen* range — typically a
+        single hot key (see
+        :func:`~repro.shard.control.strategy.single_key_range`) — onto a
+        freshly spawned cluster stack, leaving everything else where it
+        was. This is the :class:`HotKeyIsolation` policy's primitive, but
+        it stands alone as a deployment verb.
+        """
+        lo, hi = key_range
+        if src is None:
+            src = self.shard_map.owner(lo)
+        self._check_resharding_endpoints(src, None)
+        dst = len(self.shards)
+        migration = Migration(
+            self,
+            Reassignment("move", src, dst, (lo, hi)),
+            pid=pid,
+            transfer_delay=transfer_delay,
+        )
+        migration.spawned_dst = True
         self._spawn_shard()
         return self._start_migration(migration)
 
@@ -311,6 +348,21 @@ class ShardedCluster:
         self._apply_epoch(migration.reassignment, persist=True)
         self.active_migrations.pop(migration.src, None)
 
+    def _strand_migration(self, migration: Migration) -> None:
+        """Called by a migration that just detected a dead endpoint.
+
+        The epoch never activates: routing is unchanged and the source
+        keeps its keys. The per-source migration slot is released (a
+        later migration may retry the handoff with live endpoints), and
+        a destination slot that was *spawned for* this migration retires
+        — it owns nothing under any epoch, and an all-crashed shard would
+        otherwise pin the deployment's convergence to False forever.
+        """
+        self.active_migrations.pop(migration.src, None)
+        self.stranded.append(migration)
+        if migration.spawned_dst:
+            self.retired.add(migration.dst)
+
     def _apply_epoch(self, reassignment: Reassignment, *, persist: bool) -> None:
         self.shard_maps.advance(reassignment, n_shards=len(self.shards))
         if reassignment.kind == "merge":
@@ -388,7 +440,13 @@ class ShardedCluster:
         shard: they no longer serve the keyspace, so the deployment's
         convergence quantifies over the shards the active epoch routes to.
         """
-        if any(not migration.complete for migration in self.migrations):
+        # Stranded migrations are terminal, not pending: they will never
+        # complete, and treating them as in-flight would wedge converged()
+        # forever (the silent-hang bug this state exists to fix).
+        if any(
+            not migration.complete and not migration.stranded
+            for migration in self.migrations
+        ):
             return False
         return all(
             self.shards[index].converged()
@@ -405,6 +463,9 @@ class ShardedCluster:
             "retired": sorted(self.retired),
             "migrations": [
                 migration.describe() for migration in self.migrations
+            ],
+            "stranded": [
+                migration.describe() for migration in self.stranded
             ],
             "placement": self.shard_maps.describe(),
             "shards": per_shard,

@@ -63,7 +63,7 @@ from repro.datatypes.base import (
     Operation,
     PlainDb,
 )
-from repro.errors import MigrationError
+from repro.errors import MigrationError, MigrationStrandedError
 from repro.shard.partitioner import Reassignment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -74,6 +74,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 STAGING = "staging"          # barrier invoked, awaiting its TOB commit
 TRANSFERRING = "transferring"  # snapshot frozen, install in flight
 COMPLETE = "complete"        # new epoch active, deferred ops released
+STRANDED = "stranded"        # an endpoint crash-stopped; will never complete
 
 # The epoch chain is data (kind + scalars); registering a codec lets any
 # DurableStore backend persist and reload it without the core layer ever
@@ -163,6 +164,12 @@ class Migration:
         self.partial_key_requests = 0
         #: Submissions deferred by MigrationInProgress (set by routers).
         self.deferred_ops = 0
+        #: Set when the deployment spawned the destination slot for this
+        #: migration (split / isolate) — a strand then retires the slot.
+        self.spawned_dst = False
+        #: The named failure once stranded (None otherwise).
+        self.error: Optional[MigrationStrandedError] = None
+        self.stranded_at: Optional[float] = None
         self._barrier_dot: Optional[Dot] = None
         self._install_dot: Optional[Dot] = None
         self._install_pid: Optional[int] = None
@@ -179,6 +186,10 @@ class Migration:
     @property
     def complete(self) -> bool:
         return self.state == COMPLETE
+
+    @property
+    def stranded(self) -> bool:
+        return self.state == STRANDED
 
     def moves_key(self, key: Hashable, owner: Optional[int] = None) -> bool:
         """Whether ``key`` is in the moving set of this migration.
@@ -218,6 +229,67 @@ class Migration:
         # no history event and no client future — only a TOB position.
         self._barrier_dot = replica.invoke(barrier, strong=True).dot
         self._hook_commit_listeners(source, self._barrier_dot, self._on_barrier)
+        self._watch_endpoints()
+
+    # ------------------------------------------------------------------
+    # Strand detection: crash-stopped endpoints
+    # ------------------------------------------------------------------
+    def _watch_endpoints(self) -> None:
+        """Detect, at crash time, an endpoint that can never answer again.
+
+        A migration is driven entirely by its endpoints' replicas (the
+        barrier commit at the source, the install commit at the
+        destination). If *every* replica of either endpoint crash-stops
+        mid-protocol, no event will ever advance the migration — without
+        detection it wedges silently: ``converged()`` pinned False,
+        deferred submissions parked forever, the per-shard migration slot
+        never released. Crash-*recovery* outages are not strands — the
+        commit listeners survive and fire once replication resumes.
+        """
+        for role, index in (("source", self.src), ("destination", self.dst)):
+            cluster = self.deployment.shards[index]
+            for node in cluster.nodes:
+                node.register_crash_hooks(
+                    on_crash=lambda mode, role=role, cluster=cluster: (
+                        self._endpoint_crashed(role, cluster)
+                    )
+                )
+
+    def _endpoint_crashed(self, role: str, cluster: "BayouCluster") -> None:
+        if self.state in (COMPLETE, STRANDED):
+            return
+        if all(
+            node.crashed and node.crash_mode == "stop"
+            for node in cluster.nodes
+        ):
+            self.fail(
+                f"{self.reassignment.describe()} stranded while "
+                f"{self.state}: every replica of the {role} shard "
+                f"{cluster.name} crash-stopped"
+            )
+
+    def fail(self, reason: str) -> None:
+        """Mark the migration permanently stranded and release its grip.
+
+        The epoch never activates: the source keeps its keys and routing
+        is unchanged. Submissions deferred on :meth:`when_complete` are
+        released (scheduled, not inline — ``fail`` runs inside crash
+        hooks) and retry against the unchanged epoch.
+        """
+        if self.state in (COMPLETE, STRANDED):
+            return
+        self.state = STRANDED
+        self.stranded_at = self.deployment.sim.now
+        self.error = MigrationStrandedError(reason, migration=self)
+        self._unhook_commit_listeners()
+        self.deployment._strand_migration(self)
+        callbacks, self._completion_callbacks = self._completion_callbacks, []
+        if callbacks:
+            self.deployment.sim.schedule(
+                0.0,
+                lambda: [callback() for callback in callbacks],
+                label=f"stranded migration release {self.reassignment.describe()}",
+            )
 
     def _live_replica(self, cluster: "BayouCluster", pid: int, *, role: str):
         candidates = [pid] + [
@@ -333,8 +405,35 @@ class Migration:
     # 3. Transfer & install through the destination TOB
     # ------------------------------------------------------------------
     def _install(self) -> None:
+        if self.state != TRANSFERRING:
+            return  # stranded while the transfer delay elapsed
         destination = self.deployment.shards[self.dst]
-        replica = self._live_replica(destination, self.pid, role="destination")
+        try:
+            replica = self._live_replica(destination, self.pid, role="destination")
+        except MigrationError:
+            # Every destination replica is down at transfer time. All
+            # crash-stopped strands the migration (the crash-time watcher
+            # normally beat this path); a recovering outage re-runs the
+            # install at the first recovery instead of raising out of a
+            # simulator callback.
+            if all(node.crash_mode == "stop" for node in destination.nodes):
+                self.fail(
+                    f"{self.reassignment.describe()} stranded while "
+                    f"{self.state}: every replica of the destination shard "
+                    f"{destination.name} crash-stopped"
+                )
+                return
+            retried = [False]
+
+            def retry() -> None:
+                if not retried[0] and self.state == TRANSFERRING:
+                    retried[0] = True
+                    self._install()
+
+            for node in destination.nodes:
+                if node.crashed and node.crash_mode == "recover":
+                    node.register_crash_hooks(on_recover=retry)
+            return
         self._install_pid = replica.pid
         install = Operation(
             MIGRATION_INSTALL_OP, (tuple(self._moving_payload),)
@@ -348,6 +447,8 @@ class Migration:
     # 4. Drain the suffix, activate the epoch
     # ------------------------------------------------------------------
     def _on_install_committed(self, _replica) -> None:
+        if self.state != TRANSFERRING:
+            return
         destination = self.deployment.shards[self.dst]
         # Re-invoke the drained suffix on the install's replica: the same
         # monotone clock stamped the install, so the twins sort after it

@@ -33,13 +33,16 @@ expects, so random keyed workloads drive sharded deployments unchanged.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Hashable, List, Optional, Tuple
+from typing import Any, Deque, Hashable, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.session import OpFuture, resolve_operation
 from repro.datatypes.base import Operation
 from repro.errors import CrossShardError, MigrationInProgress
 from repro.shard.coordinator import CrossShardCoordinator, CrossShardFuture
 from repro.shard.deployment import ShardedCluster
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.shard.control.stats import ShardStats
 
 
 class ShardRouter:
@@ -64,6 +67,16 @@ class ShardRouter:
         #: stay pending forever — the keyspace-level analogue of a
         #: session's refused list.
         self.refused_futures: List[OpFuture] = []
+        #: Optional metrics sink (the placement controller's eyes); when
+        #: attached, every routed/deferred op and weak-op staleness
+        #: sample is exported. None by default — plain deployments pay
+        #: nothing for the control plane they don't run.
+        self.stats: Optional["ShardStats"] = None
+
+    def attach_stats(self, stats: "ShardStats") -> None:
+        """Export routing metrics into ``stats`` from now on."""
+        stats.ensure_shards(self.deployment.n_shards)
+        self.stats = stats
 
     # -- cluster-surface compatibility (RandomWorkload, sessions) -------
     @property
@@ -87,10 +100,19 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _count_routed(self, shard: int) -> None:
+    def _count_routed(self, shard: int, op: Optional[Operation] = None) -> None:
         while len(self.routed_counts) < self.deployment.n_shards:
             self.routed_counts.append(0)
         self.routed_counts[shard] += 1
+        if self.stats is not None:
+            keys = self.datatype.keys_of(op) if op is not None else ()
+            self.stats.record_op(shard, keys)
+
+    def _count_deferred(self, migration) -> None:
+        self.deferred_count += 1
+        migration.deferred_ops += 1
+        if self.stats is not None:
+            self.stats.record_deferred()
 
     def _check_migration(self, key: Hashable, owner: int) -> None:
         """Raise :class:`MigrationInProgress` if ``key`` is mid-handoff."""
@@ -192,7 +214,7 @@ class ShardRouter:
             if future is not None and not isinstance(future, CrossShardFuture):
                 return self._stage_adapted(op, plan, pid=pid, future=future)
             return self.coordinator.stage(op, plan, pid=pid, future=future)
-        self._count_routed(shard)
+        self._count_routed(shard, op)
         return self.deployment.shards[shard].submit(
             pid, op, strong=strong, future=future
         )
@@ -206,8 +228,7 @@ class ShardRouter:
         exc: MigrationInProgress,
     ) -> OpFuture:
         """The MigrationInProgress retry path: park, retry at activation."""
-        self.deferred_count += 1
-        exc.migration.deferred_ops += 1
+        self._count_deferred(exc.migration)
         if future is None:
             future = OpFuture(op, strong=strong, pid=pid)
 
@@ -252,7 +273,7 @@ class ShardRouter:
     ) -> OpFuture:
         """Submit one staged sub-operation directly to ``key``'s shard."""
         shard = self.resolve_owner(key)
-        self._count_routed(shard)
+        self._count_routed(shard, op)
         return self.deployment.shards[shard].submit(pid, op, strong=strong)
 
     def connect(
@@ -427,8 +448,7 @@ class ShardedSession:
             # deferral, not a new one.
             if getattr(future, "_parked_on", None) is not exc.migration:
                 future._parked_on = exc.migration
-                self.router.deferred_count += 1
-                exc.migration.deferred_ops += 1
+                self.router._count_deferred(exc.migration)
                 exc.migration.when_complete(self._maybe_schedule_pump)
             return False
         except CrossShardError:
@@ -487,7 +507,7 @@ class ShardedSession:
                     future.op, plan, pid=self.pid, future=future
                 )
         else:
-            self.router._count_routed(shard)
+            self.router._count_routed(shard, future.op)
             self.router.deployment.shards[shard].submit(
                 self.pid, future.op, strong=future.strong, future=future
             )
@@ -504,6 +524,20 @@ class ShardedSession:
         self.latencies.append(latency)
         self.completed += 1
         self._ready_at = self.router.sim.now + self.think_time
+        if self.router.stats is not None and not future.strong:
+            # Weak-op staleness: how long the tentative response floated
+            # before its final position committed. Sampled at stability
+            # so the controller sees the freshness price of its moves.
+            future.add_stable_callback(self._record_staleness)
         if self.on_response is not None:
             self.on_response(future.op, future.strong, future.rval, latency)
         self._maybe_schedule_pump()
+
+    def _record_staleness(self, future: OpFuture) -> None:
+        if self.router.stats is None:
+            return
+        if future.stable_time is None or future.response_time is None:
+            return
+        self.router.stats.record_staleness(
+            future.stable_time - future.response_time
+        )

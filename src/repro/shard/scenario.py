@@ -23,18 +23,36 @@ from typing import Any, Dict, List, Optional, TYPE_CHECKING
 from repro.analysis.workload import RandomWorkload
 from repro.core.session import OpFuture
 from repro.datatypes.base import Operation
-from repro.errors import ReplicaUnavailableError
+from repro.errors import MigrationStrandedError, ReplicaUnavailableError
 from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History
 from repro.framework.predicates import check_ncc
 from repro.framework.session_guarantees import check_all_session_guarantees
+from repro.shard.control import PlacementController
 from repro.shard.deployment import ShardedCluster
 from repro.shard.migration import Migration
 from repro.shard.router import ShardedSession, ShardRouter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenario import Scenario
+
+
+@dataclass
+class MigrationCheck:
+    """Per-migration protocol-completion verdict (``checks["migrations"]``).
+
+    ``ok`` is True only for a migration whose epoch activated. A stranded
+    migration (an endpoint lost every replica to crash-stop mid-handoff)
+    carries its named :class:`~repro.errors.MigrationStrandedError` in
+    ``error`` — the run *finishes* and the failure is a first-class check
+    result, where it previously wedged the deployment silently.
+    """
+
+    name: str
+    ok: bool
+    state: str
+    error: Optional[MigrationStrandedError] = None
 
 
 class ShardedLiveRun:
@@ -50,10 +68,17 @@ class ShardedLiveRun:
         self.refused: Dict[str, float] = {}
         self.sessions: List[ShardedSession] = []
         self.workloads: List[RandomWorkload] = []
+        #: The autonomous placement controller (``autoscale()`` only).
+        self.controller: Optional[PlacementController] = None
         self._schedule_everything()
 
     # -- wiring --------------------------------------------------------
     def _schedule_everything(self) -> None:
+        if self.scenario._autoscale is not None:
+            self.controller = PlacementController(
+                self.router, **self.scenario._autoscale
+            )
+            self.controller.start()
         for at, kind, params, pid, transfer_delay in self.scenario._reshardings:
             self.deployment.sim.schedule_at(
                 at,
@@ -212,6 +237,16 @@ class ShardedLiveRun:
                 session_guarantees = [
                     check_all_session_guarantees(x) for x in executions
                 ]
+        if self.deployment.migrations:
+            checks["migrations"] = [
+                MigrationCheck(
+                    name=migration.describe(),
+                    ok=migration.complete,
+                    state=migration.state,
+                    error=migration.error,
+                )
+                for migration in self.deployment.migrations
+            ]
         return ShardedRunResult(
             name=self.scenario.name,
             protocol=self.deployment.protocol,
@@ -225,6 +260,7 @@ class ShardedLiveRun:
             convergence=self.deployment.convergence_report(),
             refused=dict(self.refused),
             migrations=list(self.deployment.migrations),
+            controller=self.controller,
         )
 
 
@@ -248,6 +284,9 @@ class ShardedRunResult:
     refused: Dict[str, float] = field(repr=False, default_factory=dict)
     #: Resharding steps the run executed, in start order.
     migrations: List[Migration] = field(repr=False, default_factory=list)
+    #: The autonomous placement controller, when ``autoscale()`` armed
+    #: one (its ``actions`` log is the experiment read surface).
+    controller: Optional[PlacementController] = field(repr=False, default=None)
 
     # -- responses -----------------------------------------------------
     @property

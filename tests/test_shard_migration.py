@@ -17,7 +17,11 @@ from repro.datatypes.base import (
 )
 from repro.datatypes.counter import Counter
 from repro.datatypes.kvstore import KVStore
-from repro.errors import MigrationError, ReplicaUnavailableError
+from repro.errors import (
+    MigrationError,
+    MigrationStrandedError,
+    ReplicaUnavailableError,
+)
 from repro.scenario import Scenario
 from repro.shard import (
     Reassignment,
@@ -678,3 +682,162 @@ def test_plan_prepare_and_commit_legs_on_the_same_shard():
     assert router.query(_LinkType.get("alpha")) == "linked"
     assert router.query(_LinkType.get("zeta")) == "linked"
     assert deployment.converged()
+
+
+# ----------------------------------------------------------------------
+# The isolate verb (single-range carve-out onto a spawned shard)
+# ----------------------------------------------------------------------
+def test_isolate_carves_one_key_onto_a_spawned_shard():
+    router, deployment = _router(KVStore())
+    keys = [f"k{i}" for i in range(16)]
+    for index, key in enumerate(keys):
+        router.submit(0, KVStore.put(key, index))
+    deployment.run_until_quiescent()
+    hot = keys[0]
+    src = deployment.owner_of(hot)
+
+    migration = deployment.isolate((hot, hot + "\x00"), transfer_delay=0.5)
+    deployment.run_until_quiescent()
+
+    assert migration.complete and migration.spawned_dst
+    assert migration.src == src and migration.dst == 2
+    assert deployment.epoch == 1
+    # Exactly the carved key moved; every other key kept its owner.
+    assert deployment.owner_of(hot) == 2
+    for key in keys[1:]:
+        assert deployment.owner_of(key) != 2
+    assert migration.moved_registers == 1
+    assert router.query(KVStore.get(hot)) == 0
+    assert deployment.converged()
+
+
+# ----------------------------------------------------------------------
+# Stranded migrations (the crash-between-barrier-and-activation bugfix)
+# ----------------------------------------------------------------------
+def test_destination_crash_stop_strands_the_migration_with_a_named_error():
+    """Losing every replica of the spawned destination mid-handoff no
+    longer wedges the deployment: the migration fails into ``stranded``,
+    the dead slot retires, and the run converges on the old epoch."""
+    scenario = (
+        Scenario(KVStore(), name="stranded-dst")
+        .shards(2)
+        .replicas(2)
+        .exec_delay(0.05)
+        .message_delay(0.5)
+        .resharding(10.0, split=0, transfer_delay=10.0)
+        .at(12.0, lambda live: [
+            live.deployment.crash_replica(2, pid, "stop") for pid in (0, 1)
+        ])
+    )
+    for index in range(8):
+        scenario.invoke(1.0 + index, 0, KVStore.put(f"k{index}", index))
+    result = scenario.run(well_formed=False)
+
+    migration = result.migrations[0]
+    assert migration.stranded and not migration.complete
+    assert migration.state == "stranded"
+    assert isinstance(migration.error, MigrationStrandedError)
+    assert "crash-stopped" in str(migration.error)
+    assert migration.error.migration is migration
+    # The failure is a first-class check result, not a hang.
+    assert result.ok("migrations") is False
+    report = result.check("migrations", 0)
+    assert report.state == "stranded" and report.error is migration.error
+    # The placement never advanced and the dead spawned slot retired.
+    assert result.epoch == 0
+    assert 2 in result.deployment.retired
+    assert result.converged
+    assert result.deployment.owner_of("k0") in (0, 1)
+
+
+def test_source_crash_stop_strands_a_plain_move():
+    router, deployment = _router(KVStore())
+    key = next(f"k{i}" for i in range(50) if deployment.owner_of(f"k{i}") == 0)
+    router.submit(0, KVStore.put(key, 1))
+    deployment.run_until_quiescent()
+
+    migration = deployment.move((key, key + "\x00"), 1, transfer_delay=5.0)
+    deployment.run(until=deployment.sim.now + 1.0)
+    for pid in (0, 1):
+        deployment.crash_replica(0, pid, "stop")
+    deployment.run_until_quiescent()
+
+    assert migration.stranded
+    assert "source shard S0" in str(migration.error)
+    # An existing destination is NOT retired by someone else's strand.
+    assert 1 not in deployment.retired
+    assert deployment.epoch == 0
+    assert not deployment.active_migrations
+
+
+def test_destination_outage_with_recovery_retries_the_install():
+    """A crash–recovery outage over the install window delays the
+    handoff instead of stranding it: the one-shot recovery hook retries
+    and the epoch still activates."""
+    scenario = (
+        Scenario(KVStore(), name="recovering-dst")
+        .shards(2)
+        .replicas(2)
+        .exec_delay(0.05)
+        .message_delay(0.5)
+        .resharding(10.0, split=0, transfer_delay=3.0)
+        .at(11.0, lambda live: [
+            live.deployment.crash_replica(2, pid, "recover") for pid in (0, 1)
+        ])
+        .at(18.0, lambda live: [
+            live.deployment.recover_replica(2, pid) for pid in (0, 1)
+        ])
+    )
+    for index in range(8):
+        scenario.invoke(1.0 + index, 0, KVStore.put(f"k{index}", index))
+    result = scenario.run(well_formed=False)
+
+    migration = result.migrations[0]
+    assert migration.complete and not migration.stranded
+    assert result.ok("migrations")
+    assert result.epoch == 1
+    assert migration.activated_at >= 18.0  # the retry waited for recovery
+    assert result.converged
+
+
+# ----------------------------------------------------------------------
+# The guarded partial-key twin hazard (documented; now regression-tested)
+# ----------------------------------------------------------------------
+def test_partial_key_tentative_request_is_counted_and_converges():
+    """A weak two-account transfer caught tentative mid-split, with one
+    account moving and one staying, becomes a guarded twin on both
+    shards: ``partial_key_requests`` counts it and no money is lost."""
+    keys = [f"a{i}" for i in range(20)]
+    delta = Reassignment("split", 0, 1, ("split-epoch1",))
+    moving = next(k for k in keys if delta.moves(k, 0))
+    staying = next(k for k in keys if not delta.moves(k, 0))
+    scenario = (
+        Scenario(BankAccounts(), name="partial-key-twin")
+        .shards(1)
+        .replicas(2)
+        .exec_delay(0.05)
+        .message_delay(0.5)
+        # Isolate replica 1 so its weak transfer stays tentative…
+        .partition(5.0, [[0], [1]], shard=0)
+        # …while the split (pid 0) snapshots and drains the suffix.
+        .resharding(8.0, split=0, transfer_delay=1.0)
+        .heal(14.0, shard=0)
+        .invoke(1.0, 0, BankAccounts.deposit(moving, 10), label="fund")
+        .invoke(6.0, 1, BankAccounts.transfer(moving, staying, 3), label="t")
+    )
+    result = scenario.run(well_formed=False)
+
+    migration = result.migrations[0]
+    assert migration.complete
+    assert result.epoch == 1
+    # The transfer's keys only partially moved: exactly the hazard the
+    # counter instruments.
+    assert migration.partial_key_requests >= 1
+    assert migration.transferred_requests >= 1
+    assert result.converged
+    # Owner-routed reads see each key's effect exactly once: the twin
+    # executed on both shards, but money was neither lost nor minted.
+    funded = result.query(BankAccounts.balance(moving))
+    received = result.query(BankAccounts.balance(staying))
+    assert funded + received == 10
+    assert result.future("t").stable

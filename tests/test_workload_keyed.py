@@ -15,6 +15,7 @@ from repro.analysis.workload import (
     KeySampler,
     PROFILES,
     RandomWorkload,
+    ShiftingHotspotSampler,
     WorkloadProfile,
     bank_profile,
     kv_profile,
@@ -188,3 +189,99 @@ def test_scenario_workload_rejects_keys_with_profile_instance():
 
     with pytest.raises(ValueError, match="named profiles"):
         Scenario(Counter()).workload(PROFILES["counter"](), keys=["a"])
+
+
+# ----------------------------------------------------------------------
+# The shifting hotspot (time-varying Zipf, E14's adversary)
+# ----------------------------------------------------------------------
+def test_shifting_hotspot_rotates_the_zipf_head_per_phase():
+    """The histogram's hottest key is keys[phase] in every phase."""
+    keys = ["a", "b", "c", "d", "e", "f"]
+    sampler = ShiftingHotspotSampler(keys, [10.0, 20.0], s=1.4)
+    rng = SeededRngRegistry(11).stream("hotspot")
+    for now, expected_phase, expected_hot in [
+        (0.0, 0, "a"), (10.0, 1, "b"), (25.0, 2, "c"),
+    ]:
+        sampler.set_now(now)
+        assert sampler.phase() == expected_phase
+        histogram = Histogram(sampler.sample(rng) for _ in range(3_000))
+        hottest = max(histogram, key=histogram.get)
+        assert hottest == expected_hot
+        # The shape is unchanged — only which key carries the head.
+        assert histogram[expected_hot] > 2 * min(histogram.values())
+
+
+def test_shifting_hotspot_phase_boundaries_are_inclusive_and_sorted():
+    sampler = ShiftingHotspotSampler(["x", "y"], [20.0, 5.0])  # unsorted
+    assert sampler.shift_times == (5.0, 20.0)
+    assert sampler.phase(4.9) == 0
+    assert sampler.phase(5.0) == 1  # a shift takes effect at its time
+    assert sampler.phase(20.0) == 2
+    assert sampler.time_varying is True
+    with pytest.raises(ValueError, match="exponent"):
+        ShiftingHotspotSampler(["x"], [1.0], s=0.0)
+
+
+def test_time_varying_profile_forces_lazy_submission_and_completes():
+    """A time-varying kv profile runs lazily (one draw per response) and
+    still issues every op; keys drawn late follow the shifted head."""
+    from repro.datatypes.kvstore import KVStore
+
+    keys = [f"k{i}" for i in range(8)]
+    profile = kv_profile(
+        strong_probability=0.0,
+        sampler=ShiftingHotspotSampler(keys, [6.0], s=2.5),
+    )
+    assert profile.time_varying
+    config = BayouConfig(n_replicas=2, exec_delay=0.05, message_delay=0.2)
+    cluster = BayouCluster(KVStore(), config)
+    workload = RandomWorkload(
+        cluster, profile, ops_per_session=20, think_time=0.3, seed=2,
+        sessions=4,
+    )
+    workload.start()
+    cluster.run_until_quiescent()
+    assert workload.all_done
+    futures = [f for session in workload.sessions for f in session.futures]
+    assert len(futures) == 80
+    # Ops invoked in each phase draw from that phase's rotated head.
+    early = Histogram(
+        f.op.args[0] for f in futures if f.invoke_time < 6.0
+    )
+    late = Histogram(
+        f.op.args[0] for f in futures if f.invoke_time >= 6.0
+    )
+    assert max(early, key=early.get) == "k0"
+    assert max(late, key=late.get) == "k1"
+
+
+def test_fixed_skew_profiles_still_presample_eagerly():
+    """The historical eager path is untouched for fixed-skew samplers:
+    every op of every session is submitted at start()."""
+    config = BayouConfig(n_replicas=2, exec_delay=0.01, message_delay=0.2)
+    cluster = BayouCluster(Counter(), config)
+    profile = PROFILES["counter"]()
+    assert not profile.time_varying
+    workload = RandomWorkload(cluster, profile, ops_per_session=5, seed=1)
+    workload.start()
+    # Eager mode: the full op list is enqueued before the sim runs.
+    assert all(len(s.futures) == 5 for s in workload.sessions)
+
+
+def test_scenario_workload_hotspot_shift_validation():
+    from repro.scenario import Scenario
+    from repro.datatypes.kvstore import KVStore
+
+    with pytest.raises(ValueError, match="needs keys"):
+        Scenario(KVStore()).workload("kv", hotspot_shift=[5.0])
+    with pytest.raises(ValueError, match="named profiles"):
+        Scenario(KVStore()).workload(
+            kv_profile(), hotspot_shift=[5.0]
+        )
+    # The happy path builds a ShiftingHotspotSampler under the hood.
+    scenario = Scenario(KVStore()).shards(2).workload(
+        "kv", keys=["a", "b"], hotspot_shift=[5.0]
+    )
+    spec = scenario._workloads[0]
+    assert isinstance(spec.profile.sampler, ShiftingHotspotSampler)
+    assert spec.profile.sampler.shift_times == (5.0,)
