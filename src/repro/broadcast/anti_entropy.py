@@ -165,7 +165,7 @@ class AntiEntropy:
         if self.trace is not None:
             for key, _ in items:
                 self.trace.record(
-                    self.node.sim.now, self.node.pid, "ae.deliver", key=key
+                    self.node.now, self.node.pid, "ae.deliver", key=key
                 )
         if self._deliver_batch is not None:
             self._deliver_batch(items)
@@ -225,7 +225,7 @@ class AntiEntropy:
         # push-backs of everything we missed, even from peers the
         # round-robin loop would only reach several intervals from now.
         if not self._stopped:
-            for peer in range(self.node.network.n_processes):
+            for peer in range(self.node.n_processes):
                 if peer != self.node.pid:
                     self.node.send_component(
                         peer, self.tag, ("pull", dict(self._version_vector))
@@ -239,7 +239,7 @@ class AntiEntropy:
         self._timer_armed = False
         if self._stopped:
             return
-        n = self.node.network.n_processes
+        n = self.node.n_processes
         if n > 1:
             peer = (self.node.pid + self._next_peer_offset) % n
             self._next_peer_offset = self._next_peer_offset % (n - 1) + 1
@@ -264,7 +264,7 @@ class AntiEntropy:
             for origin, frontier in ours.items():
                 if vector.get(origin, 0) < frontier:
                     return True
-        n = self.node.network.n_processes
+        n = self.node.n_processes
         known = set(self._peer_vector_cache)
         if any(ours.values()) and len(known) < n - 1:
             return True

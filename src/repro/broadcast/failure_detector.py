@@ -49,7 +49,7 @@ class OmegaFailureDetector:
         self.trace = trace
         self.tag = tag
         self._last_heard: Dict[int, float] = {
-            pid: node.sim.now for pid in range(node.network.n_processes)
+            pid: node.now for pid in range(node.n_processes)
         }
         self._stopped = False
         self._tick_timer = None
@@ -67,7 +67,7 @@ class OmegaFailureDetector:
         itself leader until the first heartbeat round straightens it out.
         """
         self._stopped = False
-        now = self.node.sim.now
+        now = self.node.now
         for pid in self._last_heard:
             self._last_heard[pid] = now
         self._tick()
@@ -84,7 +84,7 @@ class OmegaFailureDetector:
             # node stayed suspected and its own leader view went stale).
             return
         self.node.broadcast_component(self.tag, None)
-        self._last_heard[self.node.pid] = self.node.sim.now
+        self._last_heard[self.node.pid] = self.node.now
         self._recheck_leader()
         self._tick_timer = self.node.set_timer(
             self.heartbeat_interval, self._tick, label="omega.tick"
@@ -102,7 +102,7 @@ class OmegaFailureDetector:
         """
         if self._stopped:
             return
-        now = self.node.sim.now
+        now = self.node.now
         for pid in self._last_heard:
             self._last_heard[pid] = now
         if self._tick_timer is not None and self._tick_timer.pending:
@@ -111,12 +111,12 @@ class OmegaFailureDetector:
         self.node.set_timer(0.0, self._tick, label="omega.restart")
 
     def _on_heartbeat(self, sender: int, _payload: None) -> None:
-        self._last_heard[sender] = self.node.sim.now
+        self._last_heard[sender] = self.node.now
         self._recheck_leader()
 
     def suspected(self) -> List[int]:
         """Return the pids currently suspected of having crashed."""
-        now = self.node.sim.now
+        now = self.node.now
         return [
             pid
             for pid, heard in self._last_heard.items()
@@ -126,7 +126,7 @@ class OmegaFailureDetector:
     def _compute_leader(self) -> int:
         suspects = set(self.suspected())
         candidates = [
-            pid for pid in range(self.node.network.n_processes) if pid not in suspects
+            pid for pid in range(self.node.n_processes) if pid not in suspects
         ]
         # Our own pid is never suspected, so candidates is never empty.
         return min(candidates)
@@ -137,7 +137,7 @@ class OmegaFailureDetector:
             self._current_leader = new_leader
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now,
+                    self.node.now,
                     self.node.pid,
                     "omega.leader",
                     leader=new_leader,

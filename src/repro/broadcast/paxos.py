@@ -89,7 +89,7 @@ class PaxosTOB(TotalOrderBroadcast):
         self.trace = trace
         self.store = store
         self.tag = tag
-        self.n = node.network.n_processes
+        self.n = node.n_processes
         self.majority = self.n // 2 + 1
 
         # Client-facing submission state.
@@ -147,7 +147,7 @@ class PaxosTOB(TotalOrderBroadcast):
         self._known_keys.add(key)
         self._pending[key] = payload
         if self.trace is not None:
-            self.trace.record(self.node.sim.now, self.node.pid, "paxos.cast", key=key)
+            self.trace.record(self.node.now, self.node.pid, "paxos.cast", key=key)
         self._forward_pending()
         self._ensure_driving()
 
@@ -183,7 +183,7 @@ class PaxosTOB(TotalOrderBroadcast):
         )
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.node.pid, "paxos.phase1", ballot=self._ballot
+                self.node.now, self.node.pid, "paxos.phase1", ballot=self._ballot
             )
         self._ensure_driving()
 
@@ -431,7 +431,7 @@ class PaxosTOB(TotalOrderBroadcast):
                 continue
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now,
+                    self.node.now,
                     self.node.pid,
                     "tob.deliver",
                     key=key,

@@ -95,7 +95,7 @@ class ReliableBroadcast:
         self._absorb(key, payload)
         self.node.broadcast_component(self.tag, ("cast", key, payload))
         if self.trace is not None:
-            self.trace.record(self.node.sim.now, self.node.pid, "rb.cast", key=key)
+            self.trace.record(self.node.now, self.node.pid, "rb.cast", key=key)
         if self._deliver_own:
             self._deliver(key, payload)
 
@@ -124,7 +124,7 @@ class ReliableBroadcast:
         self.node.broadcast_component(self.tag, ("cast", key, payload))
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.node.pid, "rb.deliver", key=key, sender=sender
+                self.node.now, self.node.pid, "rb.deliver", key=key, sender=sender
             )
         self._deliver(key, payload)
 
@@ -158,7 +158,7 @@ class ReliableBroadcast:
         self.node.broadcast_component(self.tag, ("sync", sorted(self._log, key=repr)))
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.node.pid, "rb.sync", known=len(self._log)
+                self.node.now, self.node.pid, "rb.sync", known=len(self._log)
             )
 
     def _handle_sync(self, sender: int, keys: List[Hashable]) -> None:

@@ -88,7 +88,7 @@ class SequencerTOB(TotalOrderBroadcast):
             self.sequencer_pid, self.tag, ("propose", key, payload)
         )
         if self.trace is not None:
-            self.trace.record(self.node.sim.now, self.node.pid, "tob.cast", key=key)
+            self.trace.record(self.node.now, self.node.pid, "tob.cast", key=key)
 
     def stop(self) -> None:
         """No periodic activity to stop in this engine."""
@@ -142,7 +142,7 @@ class SequencerTOB(TotalOrderBroadcast):
                 self.store.log(f"{self.tag}.delivered").append(ordered_key)
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now,
+                    self.node.now,
                     self.node.pid,
                     "tob.deliver",
                     key=ordered_key,

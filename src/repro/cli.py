@@ -5,6 +5,9 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro figure1              # one experiment
     python -m repro all                  # the full reproduction sweep
+    python -m repro serve --replica 0 --config cluster.json
+                                         # one real replica over TCP
+    python -m repro realtime             # E15: sockets vs sim cross-check
 """
 
 from __future__ import annotations
@@ -92,6 +95,12 @@ def _run_rebalance() -> None:
     rebalancing.main([])
 
 
+def _run_realtime() -> None:
+    from repro.analysis.experiments import realtime
+
+    realtime.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -106,7 +115,12 @@ EXPERIMENTS: Dict[str, tuple] = {
     "shard": ("E12: sharded scaling, key skew, cross-shard strong transfers", _run_shard),
     "reshard": ("E13: live resharding — split under traffic, dip, conservation", _run_reshard),
     "rebalance": ("E14: autonomous rebalancing — controller vs oracle under a moving hotspot", _run_rebalance),
+    "realtime": ("E15: realtime deployment over TCP cross-checked against the sim", _run_realtime),
 }
+
+#: Experiments excluded from ``all``: they spawn real OS processes and bind
+#: sockets, so they run only when asked for by name.
+NOT_IN_ALL = {"realtime"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: List[str] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``serve`` has its own option surface (--replica/--config), so it
+        # dispatches before the experiment parser sees the argument list.
+        from repro.runtime.serve import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
@@ -133,7 +155,9 @@ def main(argv: List[str] = None) -> int:
             print(f"  {name:12s} {description}")
         return 0
     selected = (
-        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        sorted(set(EXPERIMENTS) - NOT_IN_ALL)
+        if args.experiment == "all"
+        else [args.experiment]
     )
     for name in selected:
         description, runner = EXPERIMENTS[name]

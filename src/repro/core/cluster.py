@@ -41,6 +41,7 @@ from repro.net.faults import CrashSchedule, MessageFilter
 from repro.net.network import FixedLatency, Network, UniformLatency
 from repro.net.node import RoutingNode
 from repro.net.partition import PartitionSchedule
+from repro.runtime.sim import SimRuntime
 from repro.sim.clock import DriftingClock
 from repro.sim.kernel import Simulator
 from repro.sim.rng import SeededRngRegistry
@@ -117,6 +118,11 @@ class BayouCluster:
             filters=self.filters,
             trace=self.trace,
         )
+        #: The execution runtime every node and component runs against.
+        #: Here it is always the deterministic backend; the same stack runs
+        #: over :class:`~repro.runtime.asyncio_net.AsyncioRuntime` in
+        #: ``python -m repro serve`` (see :mod:`repro.runtime.serve`).
+        self.runtime = SimRuntime(self.sim, self.network)
 
         self.nodes: List[RoutingNode] = []
         self.clocks: List[DriftingClock] = []
@@ -156,9 +162,7 @@ class BayouCluster:
         )
         self._durability_root: Optional[str] = None
         for pid in range(config.n_replicas):
-            node = RoutingNode(
-                self.sim, self.network, pid, name=f"{self.name}R{pid}"
-            )
+            node = RoutingNode(self.runtime, pid, name=f"{self.name}R{pid}")
             store = self._make_store(pid)
             clock = DriftingClock(
                 self.sim,

@@ -42,7 +42,7 @@ class ModifiedBayouReplica(BayouReplica):
         )
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now,
+                self.node.now,
                 self.pid,
                 "bayou.invoke",
                 dot=req.dot,
@@ -73,7 +73,7 @@ class ModifiedBayouReplica(BayouReplica):
         self.execution_count += 1
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.execute", dot=req.dot
+                self.node.now, self.pid, "bayou.execute", dot=req.dot
             )
         self._respond(req, response, perceived, stable=False)
 

@@ -170,7 +170,7 @@ class BayouReplica:
         )
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.invoke", dot=req.dot, op=str(op)
+                self.node.now, self.pid, "bayou.invoke", dot=req.dot, op=str(op)
             )
         self._persist_invoke(req)
         self.rb.rb_cast(req.dot, req)
@@ -222,7 +222,7 @@ class BayouReplica:
             return  # already known (e.g. TOB delivered it first)
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.rb_deliver", dot=req.dot
+                self.node.now, self.pid, "bayou.rb_deliver", dot=req.dot
             )
         self._persist_request(req)
         self.adjust_tentative_order(req)
@@ -244,7 +244,7 @@ class BayouReplica:
                 continue
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now, self.pid, "bayou.rb_deliver", dot=req.dot
+                    self.node.now, self.pid, "bayou.rb_deliver", dot=req.dot
                 )
             fresh.append(req)
         if not fresh:
@@ -284,7 +284,7 @@ class BayouReplica:
             self.store.log("replica.commits").append(req.dot)
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.tob_deliver", dot=req.dot
+                self.node.now, self.pid, "bayou.tob_deliver", dot=req.dot
             )
         if req.dot in self._tentative_dots:
             self._tentative_dots.discard(req.dot)
@@ -357,7 +357,7 @@ class BayouReplica:
             self.rollback_count += 1
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now, self.pid, "bayou.rollback", dot=head.dot
+                    self.node.now, self.pid, "bayou.rollback", dot=head.dot
                 )
         elif self.to_be_executed:
             head = self.to_be_executed.pop(0)
@@ -381,16 +381,16 @@ class BayouReplica:
         fresh = backlog - self._batch_charged
         if fresh > 0:
             base = (
-                self.node.sim.now
+                self.node.now
                 if self._batch_deadline is None
-                else max(self._batch_deadline, self.node.sim.now)
+                else max(self._batch_deadline, self.node.now)
             )
             self._batch_deadline = base + fresh * self.config.exec_delay_for(self.pid)
             self._batch_charged = backlog
         if self._batch_deadline is not None and not self._step_scheduled:
             self._step_scheduled = True
             self._step_timer = self.node.set_timer(
-                self._batch_deadline - self.node.sim.now,
+                self._batch_deadline - self.node.now,
                 self._batch_step,
                 label=f"bayou.batch r{self.pid}",
             )
@@ -400,7 +400,7 @@ class BayouReplica:
         self._step_timer = None
         if self._stopped or self._batch_deadline is None:
             return
-        remaining = self._batch_deadline - self.node.sim.now
+        remaining = self._batch_deadline - self.node.now
         if remaining > 1e-9:
             # The deadline moved while we were queued: re-arm for the rest.
             self._step_scheduled = True
@@ -418,7 +418,7 @@ class BayouReplica:
             self.to_be_rolled_back = []
             if self.trace is not None:
                 self.trace.record(
-                    self.node.sim.now,
+                    self.node.now,
                     self.pid,
                     "bayou.rollback_batch",
                     count=count,
@@ -459,7 +459,7 @@ class BayouReplica:
         del queue[:index]
         if replayed and self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.execute_batch", count=replayed
+                self.node.now, self.pid, "bayou.execute_batch", count=replayed
             )
         self._schedule_step()
 
@@ -474,7 +474,7 @@ class BayouReplica:
         self.execution_count += 1
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.execute", dot=head.dot
+                self.node.now, self.pid, "bayou.execute", dot=head.dot
             )
         if awaiting:
             if not head.strong or head.dot in self._committed_dots:
@@ -498,7 +498,7 @@ class BayouReplica:
     ) -> None:
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now,
+                self.node.now,
                 self.pid,
                 "bayou.respond",
                 dot=req.dot,
@@ -625,11 +625,11 @@ class BayouReplica:
 
     def _on_node_crash(self, mode: str) -> None:
         """The host node crashed; volatile state is now garbage."""
-        self.crash_time = self.node.sim.now
-        self.crash_times.append(self.node.sim.now)
+        self.crash_time = self.node.now
+        self.crash_times.append(self.node.now)
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now, self.pid, "bayou.crash", mode=mode
+                self.node.now, self.pid, "bayou.crash", mode=mode
             )
 
     def _on_node_recover(self) -> None:
@@ -643,10 +643,10 @@ class BayouReplica:
         caches, timers — is discarded.
         """
         if self.crash_time is not None:
-            self.downtime += self.node.sim.now - self.crash_time
+            self.downtime += self.node.now - self.crash_time
             self.crash_time = None
         if self.trace is not None:
-            self.trace.record(self.node.sim.now, self.pid, "bayou.recover")
+            self.trace.record(self.node.now, self.pid, "bayou.recover")
         # Engine timers and flags are volatile with or without stable
         # storage: a step/retransmit timer suppressed during the downtime
         # (resurrect=False) would otherwise leave its armed flag stuck True
@@ -729,7 +729,7 @@ class BayouReplica:
         self.to_be_executed = list(order[prefix_length:])
         if self.trace is not None:
             self.trace.record(
-                self.node.sim.now,
+                self.node.now,
                 self.pid,
                 "bayou.replay",
                 checkpoint=prefix_length,

@@ -1,7 +1,12 @@
-"""The simulated network.
+"""The simulated network — the sim backend's delivery engine.
 
 Point-to-point, FIFO-per-link message passing with pluggable latency models,
-partition awareness and fault filters.
+partition awareness and fault filters. Protocol code never talks to this
+class directly any more: it sees only the
+:class:`~repro.runtime.base.Runtime` seam, and
+:class:`~repro.runtime.sim.SimRuntime` routes ``send``/``broadcast`` here.
+Harness code (clusters, scenario builders, fault schedules) still owns the
+network object for its counters, partitions and filters.
 
 Partition semantics follow the paper's model of *temporary* partitions: a
 message whose link is cut at delivery time is buffered and re-attempted when

@@ -4,13 +4,28 @@ A replica in this repository is one :class:`RoutingNode` hosting several
 components (reliable broadcast, total order broadcast, failure detector, the
 Bayou state machine). Messages on the wire are ``(component_tag, payload)``
 pairs; the node dispatches them to the registered component handler.
+
+The node talks to the world only through its injected
+:class:`~repro.runtime.base.Runtime` — on the deterministic backend that is
+a :class:`~repro.runtime.sim.SimRuntime` whose delivery engine is the
+simulated :class:`~repro.net.network.Network`; on the real-socket backend
+it is an :class:`~repro.runtime.asyncio_net.AsyncioRuntime` speaking
+length-prefixed frames over TCP. Components built on the node (everything
+under :mod:`repro.broadcast`, the replica itself) are therefore
+backend-agnostic: they see ``send_component`` / ``broadcast_component`` /
+``set_timer`` / ``now`` and nothing else.
+
+The historical constructor ``RoutingNode(sim, network, pid)`` still works —
+it wraps the pair in a :class:`SimRuntime` — so existing deterministic
+tests and harnesses are untouched.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
-from repro.net.network import Network
+from repro.runtime.base import Runtime
+from repro.runtime.sim import SimRuntime
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 
@@ -22,15 +37,38 @@ class RoutingNode(Process):
 
     def __init__(
         self,
-        sim: Simulator,
-        network: Network,
-        pid: int,
+        runtime: Union[Runtime, Simulator],
+        network: Any = None,
+        pid: Optional[int] = None,
         name: Optional[str] = None,
     ) -> None:
-        super().__init__(sim, pid, name)
-        self.network = network
+        if isinstance(runtime, Runtime):
+            # Runtime-first signature: RoutingNode(runtime, pid, name=...).
+            if pid is None:
+                pid, network = network, None
+            if network is not None:
+                raise TypeError(
+                    "pass either a Runtime or a (Simulator, Network) pair, "
+                    "not both"
+                )
+        else:
+            # Legacy signature: RoutingNode(sim, network, pid, name=...).
+            runtime = SimRuntime(runtime, network)
+        if pid is None:
+            raise TypeError("RoutingNode needs a pid")
+        super().__init__(runtime, pid, name)
         self._components: Dict[str, ComponentHandler] = {}
-        network.register(self)
+        self.runtime.register(self)
+
+    @property
+    def network(self):
+        """The sim backend's delivery engine (sim-only harness code)."""
+        return self.runtime.network  # type: ignore[attr-defined]
+
+    @property
+    def n_processes(self) -> int:
+        """Number of processes in the deployment, on any backend."""
+        return self.runtime.n_processes
 
     def register_component(self, tag: str, handler: ComponentHandler) -> None:
         """Register ``handler`` for messages tagged ``tag``."""
@@ -47,10 +85,10 @@ class RoutingNode(Process):
 
     def send_component(self, receiver: int, tag: str, payload: Any) -> None:
         """Send a tagged message to one process (possibly ourselves)."""
-        self.network.send(self.pid, receiver, (tag, payload))
+        self.runtime.send(self.pid, receiver, (tag, payload))
 
     def broadcast_component(
         self, tag: str, payload: Any, *, include_self: bool = False
     ) -> None:
         """Send a tagged message to every process."""
-        self.network.broadcast(self.pid, (tag, payload), include_self=include_self)
+        self.runtime.broadcast(self.pid, (tag, payload), include_self=include_self)

@@ -1,0 +1,27 @@
+"""Execution runtimes: one protocol codebase, two substrates.
+
+- :class:`Runtime` — the narrow seam (clock, timers, transport) every
+  protocol component is written against;
+- :class:`SimRuntime` — the deterministic discrete-event backend
+  (bit-reproducible; all tests and formal checks run here);
+- :class:`AsyncioRuntime` — asyncio over real TCP sockets between OS
+  processes (wall-clock experiments, ``python -m repro serve``).
+
+See ``docs/ARCHITECTURE.md`` ("Execution runtimes") for the contract each
+backend does and does not provide.
+"""
+
+from repro.runtime.base import Runtime, RuntimeTimer, RuntimeTimeView
+from repro.runtime.sim import SimRuntime
+from repro.runtime.wire import FrameDecoder, WireError, decode_body, encode_frame
+
+__all__ = [
+    "FrameDecoder",
+    "Runtime",
+    "RuntimeTimeView",
+    "RuntimeTimer",
+    "SimRuntime",
+    "WireError",
+    "decode_body",
+    "encode_frame",
+]

@@ -1,0 +1,285 @@
+"""Bring up and drive a localhost realtime cluster.
+
+Two pieces, both synchronous (they live on the *client* side of the RPC
+protocol, typically inside an experiment script or a test — no event loop
+required):
+
+- :class:`RealtimeClient` — one framed-RPC connection to one replica
+  process. Blocking socket I/O; every call is request/reply on the same
+  connection, so replies cannot interleave.
+- :class:`RealtimeCluster` — spawns ``python -m repro serve`` once per
+  replica, waits until every member answers a health ping, and offers the
+  deployment-level operations an experiment needs: invoke anywhere, poll
+  for convergence (identical committed order *and* state snapshot on every
+  member), and shut everything down (SIGTERM first, SIGKILL as a last
+  resort).
+
+The framing and value encoding are exactly the runtime's wire format
+(:mod:`repro.runtime.wire`), so operations constructed with the normal
+datatype classmethods — ``KVStore.put("k", "v")`` — cross the wire intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.serve import ClusterSpec
+from repro.runtime.wire import FrameDecoder, WireError, encode_frame
+
+
+def free_ports(count: int, host: str = "127.0.0.1") -> List[int]:
+    """Reserve ``count`` distinct free TCP ports on ``host``.
+
+    The sockets are held open while picking (so the kernel cannot hand the
+    same port out twice) and closed just before returning; the usual small
+    race with other processes is acceptable for localhost test clusters.
+    """
+    sockets: List[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class RpcError(WireError):
+    """The replica answered an RPC with an error instead of a value."""
+
+
+class RealtimeClient:
+    """A blocking framed-RPC client for one replica process."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._decoder = FrameDecoder()
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RealtimeClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def call(self, verb: str, args: Optional[Dict[str, Any]] = None) -> Any:
+        """Issue one RPC and block for its reply value."""
+        self._next_id += 1
+        rpc_id = self._next_id
+        frame = encode_frame(
+            {"kind": "rpc", "id": rpc_id, "verb": verb, "args": args or {}}
+        )
+        self._sock.sendall(frame)
+        while True:
+            data = self._sock.recv(64 * 1024)
+            if not data:
+                raise ConnectionError(
+                    f"replica at {self.host}:{self.port} closed the connection"
+                )
+            for reply in self._decoder.feed(data):
+                if not isinstance(reply, dict) or reply.get("kind") != "reply":
+                    raise WireError(f"unexpected frame {reply!r}")
+                if reply.get("id") != rpc_id:
+                    # One request in flight per connection, so ids match
+                    # unless the stream is corrupt.
+                    raise WireError(
+                        f"reply id {reply.get('id')} != request id {rpc_id}"
+                    )
+                if "error" in reply:
+                    raise RpcError(reply["error"])
+                return reply.get("value")
+
+    # Convenience verbs -------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def invoke(
+        self, op: Any, *, strong: bool = False, wait: str = "response"
+    ) -> Dict[str, Any]:
+        return self.call("invoke", {"op": op, "strong": strong, "wait": wait})
+
+    def status(self) -> Dict[str, Any]:
+        return self.call("status")
+
+
+class RealtimeCluster:
+    """A 3-replica (by default) localhost deployment of real processes."""
+
+    def __init__(
+        self,
+        spec: Optional[ClusterSpec] = None,
+        *,
+        startup_timeout: float = 15.0,
+    ) -> None:
+        if spec is None:
+            spec = ClusterSpec()
+        if not spec.ports:
+            spec.ports = free_ports(spec.n_replicas, spec.host)
+        spec.validate()
+        self.spec = spec
+        self.startup_timeout = startup_timeout
+        self.procs: List[subprocess.Popen] = []
+        self._clients: Dict[int, RealtimeClient] = {}
+        self._config_path: Optional[str] = None
+
+    # Lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Spawn all replica processes and wait for every health ping."""
+        handle, self._config_path = tempfile.mkstemp(
+            prefix="repro-realtime-", suffix=".json"
+        )
+        with os.fdopen(handle, "w", encoding="utf-8") as config_file:
+            json.dump(self.spec.to_json(), config_file)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        for pid in range(self.spec.n_replicas):
+            self.procs.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro",
+                        "serve",
+                        "--replica",
+                        str(pid),
+                        "--config",
+                        self._config_path,
+                    ],
+                    env=env,
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.STDOUT,
+                )
+            )
+        deadline = time.monotonic() + self.startup_timeout
+        for pid in range(self.spec.n_replicas):
+            self._await_ready(pid, deadline)
+
+    def _await_ready(self, pid: int, deadline: float) -> None:
+        host, port = self.spec.host, self.spec.ports[pid]
+        while time.monotonic() < deadline:
+            exit_code = self.procs[pid].poll()
+            if exit_code is not None:
+                output = ""
+                if self.procs[pid].stdout is not None:
+                    output = self.procs[pid].stdout.read().decode(
+                        "utf-8", "replace"
+                    )
+                raise RuntimeError(
+                    f"replica {pid} exited with code {exit_code} during "
+                    f"startup:\n{output}"
+                )
+            try:
+                client = RealtimeClient(host, port, timeout=2.0)
+            except OSError:
+                time.sleep(0.05)
+                continue
+            try:
+                if client.ping().get("ok"):
+                    self._clients[pid] = client
+                    return
+            except (OSError, WireError):
+                client.close()
+            time.sleep(0.05)
+        raise TimeoutError(f"replica {pid} not ready within startup timeout")
+
+    def client(self, pid: int) -> RealtimeClient:
+        return self._clients[pid]
+
+    def shutdown(self, *, timeout: float = 10.0) -> None:
+        """Stop every replica: SIGTERM, then SIGKILL for stragglers."""
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + timeout
+        for proc in self.procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            if proc.stdout is not None:
+                proc.stdout.close()
+        self.procs = []
+        if self._config_path is not None and os.path.exists(self._config_path):
+            os.unlink(self._config_path)
+            self._config_path = None
+
+    def __enter__(self) -> "RealtimeCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # Deployment-level operations ---------------------------------------
+    def invoke(
+        self, pid: int, op: Any, *, strong: bool = False, wait: str = "response"
+    ) -> Dict[str, Any]:
+        return self.client(pid).invoke(op, strong=strong, wait=wait)
+
+    def statuses(self) -> List[Dict[str, Any]]:
+        return [
+            self.client(pid).status() for pid in range(self.spec.n_replicas)
+        ]
+
+    def converged(self, *, expect_committed: Optional[int] = None) -> bool:
+        """All replicas agree: same committed order, no backlog, same state."""
+        statuses = self.statuses()
+        first = statuses[0]
+        if expect_committed is not None and any(
+            len(status["committed"]) != expect_committed for status in statuses
+        ):
+            return False
+        for status in statuses[1:]:
+            if status["committed"] != first["committed"]:
+                return False
+            if status["state"] != first["state"]:
+                return False
+        if any(status["backlog"] for status in statuses):
+            return False
+        if any(status["tentative"] for status in statuses):
+            return False
+        return True
+
+    def await_convergence(
+        self,
+        *,
+        expect_committed: Optional[int] = None,
+        timeout: float = 20.0,
+        poll_interval: float = 0.05,
+    ) -> List[Dict[str, Any]]:
+        """Poll until :meth:`converged`; returns the final statuses."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.converged(expect_committed=expect_committed):
+                return self.statuses()
+            time.sleep(poll_interval)
+        raise TimeoutError(
+            "cluster did not converge within "
+            f"{timeout:g}s: {self.statuses()!r}"
+        )

@@ -1,7 +1,14 @@
-"""Base class for simulated protocol state machines.
+"""Base class for protocol state machines (runtime-agnostic).
 
-A :class:`Process` is a named participant that reacts to messages and timers.
-It matches the paper's replica model (Appendix A.2.1): a state automaton
+A :class:`Process` is a named participant that reacts to messages and
+timers. It interacts with the world only through an injected
+:class:`~repro.runtime.base.Runtime`, so the same process runs on the
+deterministic simulation kernel or on an asyncio event loop over real
+sockets; constructing it from a bare :class:`Simulator` (the historical
+signature) wraps the simulator in a timer-only
+:class:`~repro.runtime.sim.SimRuntime`.
+
+A process matches the paper's replica model (Appendix A.2.1): a state automaton
 executing atomic steps in reaction to events. Crashing a process makes it
 silently drop all subsequent events — "replicas may crash silently and cease
 all communication".
@@ -33,9 +40,11 @@ through :meth:`set_timer`:
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, Union
 
-from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.runtime.base import Runtime, RuntimeTimer
+from repro.runtime.sim import SimRuntime
+from repro.sim.kernel import Simulator
 
 #: Crash mode constants (also accepted as plain strings).
 CRASH_STOP = "stop"
@@ -65,10 +74,20 @@ class ProcessTimer:
         self.cancelled = False
         self.suppressed = False
         self.fired = False
-        self.event: Optional[ScheduledEvent] = None
+        #: The backend handle this timer routes through — a runtime timer
+        #: (sim event or asyncio call_later), never a sim event directly.
+        self.event: Optional[RuntimeTimer] = None
 
     def cancel(self) -> None:
-        """Kill the timer for good; it will neither fire nor resurrect."""
+        """Kill the timer for good; it will neither fire nor resurrect.
+
+        Cancellation is enforced twice: the backend handle is cancelled
+        (so no backend needs to run the callback at all), and the guarded
+        wrapper re-checks ``cancelled`` at fire time — a backend whose
+        cancellation races its own dispatch (asyncio's ``call_later`` once
+        the callback is already queued) still never runs a cancelled
+        timer. The crash-stop regression tests pin this on both backends.
+        """
         self.cancelled = True
         if self.event is not None:
             self.event.cancel()
@@ -87,8 +106,16 @@ class Process:
     crashed: a crashed replica executes no further steps of any kind.
     """
 
-    def __init__(self, sim: Simulator, pid: int, name: Optional[str] = None) -> None:
-        self.sim = sim
+    def __init__(
+        self,
+        runtime: Union[Runtime, Simulator],
+        pid: int,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(runtime, Runtime):
+            # Legacy signature: a bare Simulator (timers + clock only).
+            runtime = SimRuntime(runtime)
+        self.runtime = runtime
         self.pid = pid
         self.name = name if name is not None else f"p{pid}"
         self.crashed = False
@@ -98,6 +125,22 @@ class Process:
         self.recovery_count = 0
         self._crash_hooks: List[Tuple[Optional[CrashHook], Optional[RecoverHook]]] = []
         self._suppressed_timers: List[ProcessTimer] = []
+
+    @property
+    def now(self) -> float:
+        """The runtime's current time (sim units or wall seconds)."""
+        return self.runtime.now()
+
+    @property
+    def sim(self) -> Simulator:
+        """The underlying simulator — sim-backend harness code only.
+
+        Protocol components must not use this: it exists so clusters,
+        scenario builders and tests that *own* the deterministic kernel
+        can keep reaching it, and it raises on runtimes that have no
+        simulator (the asyncio backend).
+        """
+        return self.runtime.sim  # type: ignore[attr-defined]
 
     def on_message(self, sender: int, message: Any) -> None:
         """Handle a message delivered by the network. Override in subclasses."""
@@ -139,7 +182,7 @@ class Process:
             timer.fired = True
             callback()
 
-        timer.event = self.sim.schedule(delay, guarded, label=timer.label)
+        timer.event = self.runtime.schedule(delay, guarded, label=timer.label)
         return timer
 
     # ------------------------------------------------------------------

@@ -1,0 +1,117 @@
+"""``python -m repro serve`` smoke tests: help, bind, ping, clean SIGTERM.
+
+These spawn at most one single-replica server on a localhost port, so they
+are cheap enough for tier-1; whole-cluster coverage lives in the
+``realtime``-marked suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import EXPERIMENTS, NOT_IN_ALL
+from repro.runtime.launcher import RealtimeClient, free_ports
+from repro.runtime.serve import ClusterSpec, ReplicaServer
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_serve_help_exits_zero():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--help"],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=30,
+    )
+    assert result.returncode == 0
+    assert "--replica" in result.stdout and "--config" in result.stdout
+
+
+def test_serve_binds_answers_ping_and_dies_cleanly_on_sigterm(tmp_path):
+    spec = ClusterSpec(n_replicas=1, ports=free_ports(1))
+    config_path = tmp_path / "cluster.json"
+    config_path.write_text(json.dumps(spec.to_json()))
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--replica",
+            "0",
+            "--config",
+            str(config_path),
+        ],
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        client = None
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            assert proc.poll() is None, proc.stdout.read()
+            try:
+                client = RealtimeClient("127.0.0.1", spec.ports[0], timeout=2.0)
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "server never bound its port"
+        pong = client.ping()
+        assert pong["ok"] and pong["pid"] == 0
+        client.close()
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0
+        output = proc.stdout.read()
+        assert "shut down (SIGTERM)" in output
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        proc.stdout.close()
+
+
+def test_cluster_spec_round_trips_and_validates(tmp_path):
+    spec = ClusterSpec(n_replicas=2, ports=[9001, 9002], datatype="counter")
+    path = tmp_path / "spec.json"
+    spec.dump(str(path))
+    loaded = ClusterSpec.load(str(path))
+    assert loaded.to_json() == spec.to_json()
+    with pytest.raises(ValueError):
+        ClusterSpec(n_replicas=2, ports=[9001]).validate()
+    with pytest.raises(ValueError):
+        ClusterSpec(n_replicas=1, ports=[9001], datatype="nope").validate()
+    with pytest.raises(ValueError):
+        ReplicaServer(ClusterSpec(n_replicas=1, ports=[9001]), pid=4)
+
+
+def test_realtime_experiment_registered_but_not_in_all():
+    assert "realtime" in EXPERIMENTS
+    assert "realtime" in NOT_IN_ALL
+
+
+def test_cli_list_mentions_realtime():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "E15" in result.stdout
