@@ -1,0 +1,109 @@
+"""Telemetry overhead gates — observation must be close to free.
+
+The unified telemetry plane (``repro.obs``) promises two prices, gated
+here on the E10 divergent-suffix reorder storm — the hottest loop in the
+codebase, where every one of ``waves × log_length`` rollback–replays
+crosses several instrumentation sites:
+
+- an attached-but-**disabled** plane costs ≤ 5% over no plane at all
+  (every site guards with a single ``if self.telemetry:`` truthiness
+  check, so the disabled path is one branch per site);
+- a fully **enabled** plane — span ring, counters, t-digest histograms —
+  costs ≤ 25%.
+
+Methodology: like E10's speedup gate, only the wave window is timed
+(setup and the final commit flood are identical across modes). Rounds
+are *interleaved* across the three modes and each mode keeps its best,
+so a background hiccup hurts one round of one mode, not a whole mode.
+The run also re-asserts the purity claim at benchmark scale: identical
+observables (histories, snapshots, committed orders, rollback counts)
+with the plane absent, disabled and enabled — and that the enabled
+ring honoured its capacity while counting what it dropped.
+"""
+
+import time
+
+from repro.analysis.experiments.reorder import build_divergent_suffix
+from repro.obs import Telemetry
+
+LOG_LENGTH = 8_000
+WAVES = 2
+ROUNDS = 7
+TRACE_CAPACITY = 10_000
+#: The gates (ratios over the no-plane baseline), plus a few milliseconds
+#: of absolute slack so scheduler jitter cannot fail a sub-5% window.
+DISABLED_CEILING = 1.05
+ENABLED_CEILING = 1.25
+JITTER_SLACK_S = 0.01
+
+
+def _storm(telemetry):
+    """One compiled storm; returns (wave-window seconds, distilled run)."""
+    rig = build_divergent_suffix(
+        LOG_LENGTH,
+        waves=WAVES,
+        record_perceived_traces=False,
+        enable_trace=False,
+        telemetry=telemetry,
+    ).settle_setup()
+    started = time.perf_counter()
+    rig.run_waves()
+    elapsed = time.perf_counter() - started
+    return elapsed, rig
+
+
+def test_telemetry_overhead_gates():
+    modes = {
+        "none": lambda: None,
+        "disabled": lambda: Telemetry(enabled=False),
+        "enabled": lambda: Telemetry(trace_capacity=TRACE_CAPACITY),
+    }
+    best = {name: float("inf") for name in modes}
+    results = {}
+    enabled_plane = None
+    for round_index in range(ROUNDS):
+        for name, make in modes.items():
+            elapsed, rig = _storm(make())
+            best[name] = min(best[name], elapsed)
+            # The distillation (commit flood + history build) costs far
+            # more than the timed window; one per mode is enough.
+            if round_index == ROUNDS - 1:
+                results[name] = rig.finish()
+                if name == "enabled":
+                    enabled_plane = rig.cluster.telemetry
+
+    # Purity at scale: the storm's outcome is mode-independent.
+    assert results["none"].observables() == results["disabled"].observables()
+    assert results["none"].observables() == results["enabled"].observables()
+    assert results["none"].rollbacks == [WAVES * LOG_LENGTH, 0, 0]
+
+    # The enabled plane really observed the storm, within its ring bound.
+    assert len(enabled_plane.tracer) == TRACE_CAPACITY
+    assert enabled_plane.tracer.dropped > 0
+    assert enabled_plane.registry.counter_total("repro_rollbacks") == (
+        WAVES * LOG_LENGTH
+    )
+
+    disabled_ratio = best["disabled"] / best["none"]
+    assert best["disabled"] <= best["none"] * DISABLED_CEILING + JITTER_SLACK_S, (
+        f"disabled plane overhead {100 * (disabled_ratio - 1):.1f}% "
+        f"(gate {100 * (DISABLED_CEILING - 1):.0f}%; "
+        f"{best['disabled']:.3f}s vs {best['none']:.3f}s)"
+    )
+    enabled_ratio = best["enabled"] / best["none"]
+    assert best["enabled"] <= best["none"] * ENABLED_CEILING + JITTER_SLACK_S, (
+        f"enabled plane overhead {100 * (enabled_ratio - 1):.1f}% "
+        f"(gate {100 * (ENABLED_CEILING - 1):.0f}%; "
+        f"{best['enabled']:.3f}s vs {best['none']:.3f}s)"
+    )
+
+
+def test_traced_storm_is_benchmarkable(bench):
+    """A timing row for the dashboards: the fully-instrumented storm."""
+
+    def traced_storm():
+        elapsed, rig = _storm(Telemetry(trace_capacity=TRACE_CAPACITY))
+        return rig.finish()
+
+    result = bench(traced_storm, bench_rounds=2)
+    assert result.rollbacks == [WAVES * LOG_LENGTH, 0, 0]

@@ -37,6 +37,13 @@ stable; callbacks (``add_done_callback`` / ``add_stable_callback``) hook
 both transitions. Data types declare their operations via descriptors, so
 ``session.increment`` and ``Counter.increment`` come from one registry.
 
+Observability — arm a run and read back its causal traces and metrics::
+
+    result = Scenario(Counter()).replicas(3).telemetry(True).run()
+    result.telemetry.trees()          # span tree per op (trace id = dot)
+    result.telemetry.registry.counter_total("repro_ops_submitted")
+    result.telemetry.write_jsonl("telemetry.jsonl")   # python -m repro obs
+
 Formal framework::
 
     from repro import build_abstract_execution, check_bec, check_fec, check_seq
@@ -83,6 +90,7 @@ from repro.errors import (
     UnknownOperationError,
 )
 from repro.net.faults import CrashSchedule
+from repro.obs import Telemetry
 from repro.framework.builder import build_abstract_execution
 from repro.framework.guarantees import check_bec, check_fec, check_seq
 from repro.framework.history import History, HistoryEvent, PENDING, STRONG, WEAK
@@ -150,6 +158,7 @@ __all__ = [
     "ShardedCluster",
     "ShardedRunResult",
     "StateObject",
+    "Telemetry",
     "UnknownOperationError",
     "VersionedShardMap",
     "WEAK",

@@ -40,6 +40,7 @@ import json
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.metrics import rate
 from repro.analysis.report import format_table
 from repro.core.cluster import BayouCluster
 from repro.core.config import BayouConfig
@@ -120,7 +121,7 @@ def _throughput_run(burst: int, n_replicas: int) -> Dict[str, Any]:
     return {
         "burst": burst,
         "elapsed_s": elapsed,
-        "ops_per_sec": burst / elapsed if elapsed > 0 else float("inf"),
+        "ops_per_sec": rate(burst, elapsed, default=float("inf")),
         "final_value": final,
         "value_ok": final == burst
         and all(state.get("counter:value") == burst for state in counters),
@@ -154,8 +155,8 @@ def run_experiment(*, smoke: bool = False) -> Dict[str, Any]:
         "committed_order": [list(dot) for dot in sim_orders[0]],
         "final_state": {str(k): v for k, v in sim_snapshot.items()},
         "closed_loop_elapsed_s": rt_elapsed,
-        "closed_loop_ops_per_sec": (
-            n_ops / rt_elapsed if rt_elapsed > 0 else float("inf")
+        "closed_loop_ops_per_sec": rate(
+            n_ops, rt_elapsed, default=float("inf")
         ),
         "throughput": throughput,
         "ok": order_match

@@ -45,6 +45,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.metrics import committed_op_rate, weak_staleness_samples
 from repro.analysis.report import format_table
 from repro.analysis.workload import RandomWorkload
 from repro.datatypes.kvstore import KVStore
@@ -146,27 +147,11 @@ def _futures(workload: RandomWorkload):
     return [f for session in workload.sessions for f in session.futures]
 
 
-def _committed_throughput(futures) -> float:
-    """Stable ops per simulated time unit, first invoke → last stable."""
-    stable = [f.stable_time for f in futures if f.stable_time is not None]
-    invoked = [f.invoke_time for f in futures if f.invoke_time is not None]
-    if not stable or not invoked:
-        return 0.0
-    span = max(stable) - min(invoked)
-    return len(stable) / span if span > 0 else 0.0
-
-
 def _finish_leg(leg: str, live) -> RebalancingRun:
     live.settle(max_time=20_000.0)
     futures = _futures(live.workloads[0])
     latencies = [f.latency for f in futures if f.latency is not None]
-    staleness = [
-        f.stable_time - f.response_time
-        for f in futures
-        if not f.strong
-        and f.stable_time is not None
-        and f.response_time is not None
-    ]
+    staleness = weak_staleness_samples(futures)
     controller = live.controller
     if controller is not None:
         controller.stop()
@@ -181,7 +166,7 @@ def _finish_leg(leg: str, live) -> RebalancingRun:
         migrations=len(migrations),
         migrations_complete=all(m.complete for m in migrations),
         deferred_ops=live.router.deferred_count,
-        committed_throughput=_committed_throughput(futures),
+        committed_throughput=committed_op_rate(futures),
         mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
         weak_staleness=sum(staleness) / len(staleness) if staleness else 0.0,
         converged=live.converged(),

@@ -189,6 +189,7 @@ def build_divergent_suffix(
     waves: int = 1,
     record_perceived_traces: bool = True,
     enable_trace: bool = True,
+    telemetry: Optional[Any] = None,
 ) -> DivergentSuffixRig:
     """Compile the divergent-suffix schedule; nothing has run yet.
 
@@ -224,7 +225,10 @@ def build_divergent_suffix(
     )
     filters = MessageFilter()
     filters.add(_hold_sender_rule(0, hold))
-    cluster = BayouCluster(Counter(), config, protocol=ORIGINAL, filters=filters)
+    cluster = BayouCluster(
+        Counter(), config, protocol=ORIGINAL, filters=filters,
+        telemetry=telemetry,
+    )
     for index in range(log_length):
         cluster.schedule_invoke(
             1.0 + index * invoke_spacing, 0, Counter.increment(1)

@@ -41,6 +41,7 @@ from dataclasses import asdict, dataclass
 from statistics import mean
 from typing import Any, Dict, List, Optional
 
+from repro.analysis.metrics import committed_op_rate, weak_staleness_samples
 from repro.analysis.report import format_table
 from repro.analysis.workload import RandomWorkload, kv_profile, make_sampler
 from repro.datatypes.bank import BankAccounts
@@ -139,16 +140,6 @@ def _phase_futures(workload: RandomWorkload):
     return [f for session in workload.sessions for f in session.futures]
 
 
-def _throughput(futures, start: float, end: float) -> float:
-    """Committed (TOB-final) operations per simulated time unit in a window."""
-    stable = [
-        f for f in futures
-        if f.stable_time is not None and start <= f.stable_time < end
-    ]
-    span = end - start
-    return len(stable) / span if span > 0 else 0.0
-
-
 def _drive_phase_b(live, skew: str) -> RandomWorkload:
     profile = kv_profile(
         STRONG_PROBABILITY, sampler=make_sampler(KEYS, skew)
@@ -190,23 +181,19 @@ def run_split_case(
     first_invoke = min(
         f.invoke_time for f in phase_a if f.invoke_time is not None
     )
-    pre = _throughput(phase_a, first_invoke, migration.started_at)
-    window = _throughput(
-        phase_a, migration.started_at, migration.activated_at
+    pre = committed_op_rate(
+        phase_a, start=first_invoke, end=migration.started_at
     )
-    staleness = [
-        f.stable_time - f.response_time
-        for f in phase_a
-        if not f.strong
-        and f.stable_time is not None
-        and f.response_time is not None
-    ]
+    window = committed_op_rate(
+        phase_a, start=migration.started_at, end=migration.activated_at
+    )
+    staleness = weak_staleness_samples(phase_a)
 
     phase_b = _drive_phase_b(live, skew)
     b_futures = _phase_futures(phase_b)
     b_start = min(f.invoke_time for f in b_futures if f.invoke_time is not None)
     b_end = max(f.stable_time for f in b_futures if f.stable_time is not None)
-    post = _throughput(b_futures, b_start, b_end + 1e-9)
+    post = committed_op_rate(b_futures, start=b_start, end=b_end + 1e-9)
     converged = live.converged()
     _finish(live, tob_engine)
 
@@ -254,7 +241,7 @@ def run_fresh_baseline(skew: str, tob_engine: str) -> float:
     start = min(f.invoke_time for f in futures if f.invoke_time is not None)
     end = max(f.stable_time for f in futures if f.stable_time is not None)
     _finish(live, tob_engine)
-    return _throughput(futures, start, end + 1e-9)
+    return committed_op_rate(futures, start=start, end=end + 1e-9)
 
 
 def run_splits() -> List[ReshardingRun]:

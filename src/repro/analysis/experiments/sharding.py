@@ -45,6 +45,7 @@ from dataclasses import asdict, dataclass
 from statistics import mean
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.metrics import committed_op_rate, weak_staleness_samples
 from repro.analysis.report import format_table
 from repro.datatypes.bank import BankAccounts
 from repro.datatypes.kvstore import KVStore
@@ -138,13 +139,7 @@ def run_scaling_case(
     futures = [f for s in live.workloads[0].sessions for f in s.futures]
     responded = [f for f in futures if f.response_time is not None]
     stable = [f for f in futures if f.stable_time is not None]
-    start = min(f.invoke_time for f in futures if f.invoke_time is not None)
-    commit_span = max(f.stable_time for f in stable) - start
-    staleness = [
-        f.stable_time - f.response_time
-        for f in stable
-        if not f.strong and f.response_time is not None
-    ]
+    staleness = weak_staleness_samples(futures)
     converged = live.converged()
     routed = list(live.router.routed_counts)
     if tob_engine == "paxos":
@@ -156,7 +151,7 @@ def run_scaling_case(
         tob_engine=tob_engine,
         completed_ops=len(responded),
         committed_ops=len(stable),
-        committed_throughput=len(stable) / commit_span,
+        committed_throughput=committed_op_rate(futures),
         weak_staleness=mean(staleness) if staleness else 0.0,
         routed_per_shard=routed,
         converged=converged,

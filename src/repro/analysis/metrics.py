@@ -8,6 +8,12 @@ Two quantifications of *temporary operation reordering*:
 - :func:`count_trace_final_discords` — pairs inside a single perceived
   trace whose order contradicts the final TOB order (the observer saw a
   state the final serialisation never passes through).
+
+Plus the shared throughput/staleness folds every sharded experiment
+(E12–E15) reduces its futures with: :func:`rate`,
+:func:`committed_op_rate` and :func:`weak_staleness_samples`. One
+definition, one set of edge-case conventions (empty window → the
+caller's default; half-open ``start <= t < end`` windows).
 """
 
 from __future__ import annotations
@@ -51,6 +57,61 @@ class LatencyStats:
             f"LatencyStats(n={self.count}, mean={self.mean:.3f}, "
             f"p50={self.p50:.3f}, p95={self.p95:.3f}, max={self.maximum:.3f})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared throughput / staleness folds (E12–E15)
+# ----------------------------------------------------------------------
+def rate(count: float, span: float, *, default: float = 0.0) -> float:
+    """``count`` per unit ``span``; ``default`` when the span is empty.
+
+    Wall-clock callers (E15) pass ``default=float("inf")`` — a burst
+    measured over zero elapsed time is *fast*, not absent.
+    """
+    return count / span if span > 0 else default
+
+
+def committed_op_rate(
+    futures: Iterable,
+    *,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    default: float = 0.0,
+) -> float:
+    """Committed (stable) operations per time unit.
+
+    Without a window: every stable future counts, over the span from the
+    first invoke to the last stabilisation. With ``start``/``end``: only
+    futures that stabilised inside the half-open window
+    ``start <= stable_time < end``, over ``end - start``.
+    """
+    if start is not None and end is not None:
+        stable = [
+            f for f in futures
+            if f.stable_time is not None and start <= f.stable_time < end
+        ]
+        return rate(len(stable), end - start, default=default)
+    futures = list(futures)
+    stable = [f.stable_time for f in futures if f.stable_time is not None]
+    invoked = [f.invoke_time for f in futures if f.invoke_time is not None]
+    if not stable or not invoked:
+        return default
+    return rate(len(stable), max(stable) - min(invoked), default=default)
+
+
+def weak_staleness_samples(futures: Iterable) -> List[float]:
+    """``stable − response`` of every weak op holding both timestamps.
+
+    The freshness price of tentative responses: how long a client
+    acting on a weak response waited before that response became final.
+    """
+    return [
+        f.stable_time - f.response_time
+        for f in futures
+        if not f.strong
+        and f.stable_time is not None
+        and f.response_time is not None
+    ]
 
 
 def _pair_orders(trace: Sequence) -> Dict[Tuple, bool]:

@@ -75,6 +75,7 @@ class AntiEntropy:
         trace: Optional[TraceLog] = None,
         store: Optional["DurableStore"] = None,
         tag: str = _TAG,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.node = node
         self._deliver = deliver
@@ -82,6 +83,13 @@ class AntiEntropy:
         self._deliver_own = deliver_own
         self.sync_interval = sync_interval
         self.trace = trace
+        #: Volume counters only: anti-entropy ships whole log suffixes, so
+        #: per-op spans here would be noise — sync traffic is not op history.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._m_syncs = telemetry.counter("repro_ae_syncs")
+            self._m_shipped = telemetry.counter("repro_ae_updates_shipped")
+            self._m_delivered = telemetry.counter("repro_ae_updates_delivered")
         self.store = store
         self.tag = tag
         #: origin -> {event_no: payload} for everything we know.
@@ -162,6 +170,8 @@ class AntiEntropy:
         """Deliver ``items`` — in one batch when the host supports it."""
         if not items:
             return
+        if self.telemetry:
+            self._m_delivered.inc(len(items))
         if self.trace is not None:
             for key, _ in items:
                 self.trace.record(
@@ -244,6 +254,8 @@ class AntiEntropy:
             peer = (self.node.pid + self._next_peer_offset) % n
             self._next_peer_offset = self._next_peer_offset % (n - 1) + 1
             if peer != self.node.pid:
+                if self.telemetry:
+                    self._m_syncs.inc()
                 self.node.send_component(
                     peer, self.tag, ("pull", dict(self._version_vector))
                 )
@@ -287,6 +299,8 @@ class AntiEntropy:
         """Push whatever the peer is missing; remember what they will know."""
         updates, merged = self._missing_updates(their_vector)
         self._peer_vector_cache[peer] = merged
+        if updates and self.telemetry:
+            self._m_shipped.inc(len(updates))
         if updates or reply_always:
             self.node.send_component(
                 peer, self.tag, ("push", (updates, dict(self._version_vector)))

@@ -81,12 +81,19 @@ class PaxosTOB(TotalOrderBroadcast):
         trace: Optional[TraceLog] = None,
         store: Optional["DurableStore"] = None,
         tag: str = _TAG,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.node = node
         self._deliver = deliver
         self.omega = omega
         self.retry_interval = retry_interval
         self.trace = trace
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._m_casts = telemetry.counter("repro_tob_casts", engine="paxos")
+            self._m_delivers = telemetry.counter(
+                "repro_tob_delivers", engine="paxos"
+            )
         self.store = store
         self.tag = tag
         self.n = node.n_processes
@@ -146,6 +153,13 @@ class PaxosTOB(TotalOrderBroadcast):
             return
         self._known_keys.add(key)
         self._pending[key] = payload
+        if self.telemetry:
+            self._m_casts.inc()
+            if isinstance(key, tuple):
+                self.telemetry.op_span(
+                    self.node.now, self.node.pid, "tob.cast", key,
+                    "tob.cast", "root",
+                )
         if self.trace is not None:
             self.trace.record(self.node.now, self.node.pid, "paxos.cast", key=key)
         self._forward_pending()
@@ -429,6 +443,20 @@ class PaxosTOB(TotalOrderBroadcast):
             self._delivered.append(key)
             if not notify:
                 continue
+            if self.telemetry:
+                self._m_delivers.inc()
+                if isinstance(key, tuple) and key[0] == self.node.pid:
+                    # Origin-only, like the sequencer engine: one delivery
+                    # span per op regardless of cluster size.
+                    self.telemetry.op_span(
+                        self.node.now,
+                        self.node.pid,
+                        "tob.deliver",
+                        key,
+                        "tob.deliver",
+                        "tob.cast",
+                        seqno=instance,
+                    )
             if self.trace is not None:
                 self.trace.record(
                     self.node.now,

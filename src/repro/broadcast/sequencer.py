@@ -55,11 +55,18 @@ class SequencerTOB(TotalOrderBroadcast):
         trace: Optional[TraceLog] = None,
         store: Optional["DurableStore"] = None,
         tag: str = _TAG,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.node = node
         self._deliver = deliver
         self.sequencer_pid = sequencer_pid
         self.trace = trace
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._m_casts = telemetry.counter("repro_tob_casts", engine="sequencer")
+            self._m_delivers = telemetry.counter(
+                "repro_tob_delivers", engine="sequencer"
+            )
         self.store = store
         self.tag = tag
         # Sequencer-side state: the assignment log, ordered by seqno.
@@ -87,6 +94,16 @@ class SequencerTOB(TotalOrderBroadcast):
         self.node.send_component(
             self.sequencer_pid, self.tag, ("propose", key, payload)
         )
+        if self.telemetry:
+            self._m_casts.inc()
+            if isinstance(key, tuple):
+                # Dot-keyed messages (every replica request, including
+                # migration barriers — those are invoked as ops) join the
+                # op's trace; any other key is counted only.
+                self.telemetry.op_span(
+                    self.node.now, self.node.pid, "tob.cast", key,
+                    "tob.cast", "root",
+                )
         if self.trace is not None:
             self.trace.record(self.node.now, self.node.pid, "tob.cast", key=key)
 
@@ -140,6 +157,23 @@ class SequencerTOB(TotalOrderBroadcast):
             self._delivered.append(ordered_key)
             if self.store is not None:
                 self.store.log(f"{self.tag}.delivered").append(ordered_key)
+            if self.telemetry:
+                self._m_delivers.inc()
+                if (
+                    isinstance(ordered_key, tuple)
+                    and ordered_key[0] == self.node.pid
+                ):
+                    # One delivery span per op, at its origin endpoint —
+                    # mirrors the origin-only commit span upstairs.
+                    self.telemetry.op_span(
+                        self.node.now,
+                        self.node.pid,
+                        "tob.deliver",
+                        ordered_key,
+                        "tob.deliver",
+                        "tob.cast",
+                        seqno=self._next_to_deliver - 1,
+                    )
             if self.trace is not None:
                 self.trace.record(
                     self.node.now,

@@ -8,6 +8,7 @@ Usage::
     python -m repro serve --replica 0 --config cluster.json
                                          # one real replica over TCP
     python -m repro realtime             # E15: sockets vs sim cross-check
+    python -m repro obs telemetry.jsonl  # render a recorded trace file
 """
 
 from __future__ import annotations
@@ -148,6 +149,11 @@ def main(argv: List[str] = None) -> int:
         from repro.runtime.serve import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Same arrangement: ``obs`` takes a file path plus filters.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):

@@ -41,6 +41,7 @@ from repro.net.faults import CrashSchedule, MessageFilter
 from repro.net.network import FixedLatency, Network, UniformLatency
 from repro.net.node import RoutingNode
 from repro.net.partition import PartitionSchedule
+from repro.obs import Telemetry, TelemetryScope
 from repro.runtime.sim import SimRuntime
 from repro.sim.clock import DriftingClock
 from repro.sim.kernel import Simulator
@@ -86,6 +87,7 @@ class BayouCluster:
         crashes: Optional[CrashSchedule] = None,
         sim: Optional[Simulator] = None,
         name: str = "",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or BayouConfig()
         self.config.validate()
@@ -98,7 +100,30 @@ class BayouCluster:
         self.name = name
 
         self.sim = sim if sim is not None else Simulator()
-        self.trace = TraceLog() if self.config.enable_trace else None
+        self.trace = (
+            TraceLog(capacity=self.config.trace_capacity)
+            if self.config.enable_trace
+            else None
+        )
+        #: The deployment's telemetry plane. Sharded deployments pass one
+        #: shared plane into every shard; standalone clusters build their
+        #: own when ``config.enable_telemetry`` is set.
+        if telemetry is None and self.config.enable_telemetry:
+            telemetry = Telemetry(trace_capacity=self.config.trace_capacity)
+        self.telemetry = telemetry
+        #: The cluster's scoped view (prefixes op trace ids with the
+        #: deployment name, labels instruments with the shard).
+        self._tscope: Optional[TelemetryScope] = (
+            telemetry.scoped(self.name) if telemetry is not None else None
+        )
+        if self._tscope:
+            self._h_commit_latency = self._tscope.histogram(
+                "repro_op_commit_latency"
+            )
+            self._h_weak_staleness = self._tscope.histogram(
+                "repro_weak_staleness"
+            )
+            self._c_submitted = self._tscope.counter("repro_ops_submitted")
         self.rngs = SeededRngRegistry(self.config.seed)
         self.partitions = partitions or PartitionSchedule(self.config.n_replicas)
         self.filters = filters or MessageFilter()
@@ -177,6 +202,7 @@ class BayouCluster:
                 trace=self.trace,
                 responder=self._make_responder(pid),
                 store=store,
+                telemetry=self._tscope,
             )
             if config.dissemination == "anti_entropy":
                 replica.rb = AntiEntropy(
@@ -186,6 +212,7 @@ class BayouCluster:
                     sync_interval=config.ae_sync_interval,
                     trace=self.trace,
                     store=store,
+                    telemetry=self._tscope,
                 )
             else:
                 replica.rb = ReliableBroadcast(
@@ -198,6 +225,7 @@ class BayouCluster:
                     sequencer_pid=config.sequencer_pid,
                     trace=self.trace,
                     store=store,
+                    telemetry=self._tscope,
                 )
             else:
                 omega = OmegaFailureDetector(
@@ -214,6 +242,7 @@ class BayouCluster:
                     retry_interval=config.paxos_retry_interval,
                     trace=self.trace,
                     store=store,
+                    telemetry=self._tscope,
                 )
                 self.sim.schedule(0.0, omega.start, label=f"omega start {pid}")
             replica.commit_listener = self._on_commit
@@ -316,12 +345,63 @@ class BayouCluster:
             future.request = req
         staged.timestamp = req.timestamp
         staged.tob_cast = self._was_tob_cast(req)
+        if self._tscope:
+            self._instrument_submit(staged, future, req, pid)
         if not staged.tob_cast and future.done:
             # Never-broadcast operations (the modified protocol's invisible
             # reads) hold no position in the final order; their synchronous
             # response is as final as it will ever be.
             future._mark_stable(self.sim.now)
         return future
+
+    def _instrument_submit(
+        self, staged: _StagedEvent, future: OpFuture, req: Req, pid: int
+    ) -> None:
+        """Record the op's client-side spans and lifecycle histograms.
+
+        The respond/stable spans ride the future's callbacks: those fire
+        exactly once at the actual transition regardless of which path
+        resolved the future (async responder, synchronous modified-weak
+        response, origin commit fast path). Registered *after*
+        ``staged.tob_cast`` is patched, so a never-broadcast op that is
+        already done stabilises with its span parented on the root rather
+        than a commit span that will never exist.
+        """
+        tscope = self._tscope
+        assert tscope is not None
+        dot = req.dot
+        self._c_submitted.inc()
+        tscope.op_span(
+            staged.invoke_time,
+            pid,
+            "submit",
+            dot,
+            "submit",
+            "root",
+            strong=req.strong,
+        )
+
+        def on_respond(f: OpFuture) -> None:
+            tscope.op_span(
+                self.sim.now, pid, "respond", dot, "respond", "root",
+                stable=f.stable,
+            )
+
+        def on_stable(f: OpFuture) -> None:
+            parent = "commit" if staged.tob_cast else "root"
+            tscope.op_span(
+                self.sim.now, pid, "stable", dot, "stable", parent
+            )
+            latency = f.commit_latency
+            if latency is not None:
+                self._h_commit_latency.observe(latency)
+            if not f.strong:
+                staleness = f.staleness
+                if staleness is not None:
+                    self._h_weak_staleness.observe(staleness)
+
+        future.add_done_callback(on_respond)
+        future.add_stable_callback(on_stable)
 
     def invoke(self, pid: int, op: Operation, *, strong: bool = False) -> Req:
         """Invoke ``op`` on replica ``pid`` right now; returns the request."""

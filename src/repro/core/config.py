@@ -74,6 +74,16 @@ class BayouConfig:
     enable_trace:
         Attach the diagnostic :class:`TraceLog` to every component.
         Disable for scale runs where per-event trace records dominate.
+    enable_telemetry:
+        Attach the unified telemetry plane (:class:`repro.obs.Telemetry`):
+        causal per-op span traces plus the online metrics registry.
+        Off by default — instrumentation sites then cost one false branch.
+        Tracing never feeds back into protocol decisions, so a seeded run
+        is bit-identical with telemetry on or off.
+    trace_capacity:
+        When set, bounds *both* the :class:`TraceLog` and the telemetry
+        span ring to this many entries (oldest dropped, drops counted) —
+        the streaming-first discipline long runs need.
     seed:
         Master seed for all random streams.
     """
@@ -100,6 +110,8 @@ class BayouConfig:
     durability_dir: Optional[str] = None
     record_perceived_traces: bool = True
     enable_trace: bool = True
+    enable_telemetry: bool = False
+    trace_capacity: Optional[int] = None
     seed: int = 0
 
     def exec_delay_for(self, pid: int) -> float:
@@ -151,4 +163,9 @@ class BayouConfig:
             raise ValueError(
                 "checkpoint_interval must be a positive integer when set, "
                 f"got {self.checkpoint_interval!r}"
+            )
+        if self.trace_capacity is not None and self.trace_capacity < 1:
+            raise ValueError(
+                "trace_capacity must be a positive integer when set, "
+                f"got {self.trace_capacity!r}"
             )

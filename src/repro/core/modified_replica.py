@@ -48,6 +48,17 @@ class ModifiedBayouReplica(BayouReplica):
                 dot=req.dot,
                 op=str(op),
             )
+        if self.telemetry:
+            self.telemetry.op_span(
+                self.node.now,
+                self.pid,
+                "op",
+                req.dot,
+                "root",
+                None,
+                op=str(op),
+                strong=strong,
+            )
         if strong:
             # Lines 13-14: await the committed execution; TOB only.
             self._awaiting[req.dot] = self._no_response_sentinel()
@@ -71,6 +82,16 @@ class ModifiedBayouReplica(BayouReplica):
         perceived = self._capture_perceived()
         response = self.state.execute(req, checkpoint=keep)
         self.execution_count += 1
+        if self.telemetry:
+            self._m_execs.inc()
+            self.telemetry.op_span(
+                self.node.now,
+                self.pid,
+                "exec.tentative",
+                req.dot,
+                "exec.tentative",
+                "root",
+            )
         if self.trace is not None:
             self.trace.record(
                 self.node.now, self.pid, "bayou.execute", dot=req.dot
@@ -84,6 +105,8 @@ class ModifiedBayouReplica(BayouReplica):
         else:
             self.state.rollback(req)
             self.rollback_count += 1
+            if self.telemetry:
+                self._m_rollbacks.inc()
 
         if not readonly:
             # Lines 8-11: disseminate and speculate only updating requests.

@@ -80,6 +80,7 @@ class BayouReplica:
         trace: Optional[TraceLog] = None,
         responder: Optional[Responder] = None,
         store: Optional[DurableStore] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.node = node
         self.pid = node.pid
@@ -87,6 +88,22 @@ class BayouReplica:
         self.datatype = datatype
         self.config = config
         self.trace = trace
+        #: Telemetry plane or scope (``None`` or disabled both short-circuit
+        #: every instrumentation site to a single false branch). Hot-path
+        #: instruments are resolved once here, not per event.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._maint_trace = telemetry.named_trace(f"maint-{self.pid}")
+            self._maint_seq = 0
+            self._m_execs = telemetry.counter(
+                "repro_executions", replica=self.pid
+            )
+            self._m_rollbacks = telemetry.counter(
+                "repro_rollbacks", replica=self.pid
+            )
+            self._m_commits = telemetry.counter(
+                "repro_commits_delivered", replica=self.pid
+            )
         self.responder = responder
         #: Stable storage (None = the seed's purely volatile replica). The
         #: write-ahead log, commit order, event counter and committed-prefix
@@ -171,6 +188,19 @@ class BayouReplica:
         if self.trace is not None:
             self.trace.record(
                 self.node.now, self.pid, "bayou.invoke", dot=req.dot, op=str(op)
+            )
+        if self.telemetry:
+            # The root span of this op's trace: every invocation — client
+            # submit, migration barrier/install, realtime RPC — enters here.
+            self.telemetry.op_span(
+                self.node.now,
+                self.pid,
+                "op",
+                req.dot,
+                "root",
+                None,
+                op=str(op),
+                strong=strong,
             )
         self._persist_invoke(req)
         self.rb.rb_cast(req.dot, req)
@@ -300,6 +330,20 @@ class BayouReplica:
             self._schedule_step()
         else:
             self.adjust_execution(self.committed + self.tentative)
+        if self.telemetry:
+            self._m_commits.inc()
+            if req.dot[0] == self.pid:
+                # One commit span per op, recorded at its origin replica
+                # (every replica delivers; fanning out per-replica spans
+                # would grow each op's tree with the cluster size).
+                self.telemetry.op_span(
+                    self.node.now,
+                    self.pid,
+                    "commit",
+                    req.dot,
+                    "commit",
+                    "tob.deliver",
+                )
         if req.dot in self._awaiting and any(r.dot == req.dot for r in self.executed):
             stored = self._awaiting.pop(req.dot)
             assert stored is not _NO_RESPONSE, "executed request lacks a response"
@@ -355,6 +399,8 @@ class BayouReplica:
             head = self.to_be_rolled_back.pop(0)
             self.state.rollback(head)
             self.rollback_count += 1
+            if self.telemetry:
+                self._m_rollbacks.inc()
             if self.trace is not None:
                 self.trace.record(
                     self.node.now, self.pid, "bayou.rollback", dot=head.dot
@@ -416,6 +462,11 @@ class BayouReplica:
             self.state.revert_to(keep)
             self.rollback_count += count
             self.to_be_rolled_back = []
+            if self.telemetry:
+                self._m_rollbacks.inc(count)
+                self._record_maintenance(
+                    "reorder.rollback_batch", count=count, keep=keep
+                )
             if self.trace is not None:
                 self.trace.record(
                     self.node.now,
@@ -457,10 +508,14 @@ class BayouReplica:
                 self._schedule_step()
                 return
         del queue[:index]
-        if replayed and self.trace is not None:
-            self.trace.record(
-                self.node.now, self.pid, "bayou.execute_batch", count=replayed
-            )
+        if replayed:
+            if self.telemetry:
+                self._m_execs.inc(replayed)
+                self._record_maintenance("reorder.execute_batch", count=replayed)
+            if self.trace is not None:
+                self.trace.record(
+                    self.node.now, self.pid, "bayou.execute_batch", count=replayed
+                )
         self._schedule_step()
 
     def _execute_one(self, head: Req) -> None:
@@ -472,6 +527,20 @@ class BayouReplica:
         perceived = self._capture_perceived() if awaiting else ()
         response = self.state.execute(head)
         self.execution_count += 1
+        if self.telemetry:
+            self._m_execs.inc()
+            if awaiting:
+                # First tentative execution of a locally invoked op — the
+                # moment its speculative response is computed. Re-executions
+                # during replay are volume (counters), not op history.
+                self.telemetry.op_span(
+                    self.node.now,
+                    self.pid,
+                    "exec.tentative",
+                    head.dot,
+                    "exec.tentative",
+                    "root",
+                )
         if self.trace is not None:
             self.trace.record(
                 self.node.now, self.pid, "bayou.execute", dot=head.dot
@@ -488,6 +557,22 @@ class BayouReplica:
             else:
                 self._awaiting[head.dot] = (response, perceived)
         self._append_executed(head)
+
+    def _record_maintenance(self, name: str, **attrs: Any) -> None:
+        """One aggregated span per batch drain, on this replica's
+        maintenance trace (reorder storms are replica history, not any
+        single op's story). Span ids are a deterministic per-replica
+        counter, so seeded runs yield identical traces."""
+        self._maint_seq += 1
+        self.telemetry.tracer.record(
+            self.node.now,
+            self.pid,
+            name,
+            self._maint_trace,
+            f"b{self._maint_seq}",
+            None,
+            **attrs,
+        )
 
     def _append_executed(self, req: Req) -> None:
         self.executed.append(req)

@@ -39,7 +39,7 @@ Sessions expose the data type's declared operations as bound proxies::
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Deque, Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.request import Dot, Req
 from repro.datatypes.base import Operation
@@ -96,6 +96,10 @@ class OpFuture:
         #: The wire request; assigned when the replica accepts the invocation.
         self.request: Optional[Req] = None
         self.dot: Optional[Dot] = None
+        #: When the client handed the op over (queued by a session, or the
+        #: invoke time for open-loop submissions). Precedes ``invoke_time``
+        #: by the session queueing delay.
+        self.submit_time: Optional[float] = None
         self.invoke_time: Optional[float] = None
         self.response_time: Optional[float] = None
         self.stable_time: Optional[float] = None
@@ -151,6 +155,30 @@ class OpFuture:
             return None
         return self.response_time - self.invoke_time
 
+    @property
+    def commit_latency(self) -> Optional[float]:
+        """Stable time minus invoke time; None until stable."""
+        if self.stable_time is None or self.invoke_time is None:
+            return None
+        return self.stable_time - self.invoke_time
+
+    @property
+    def staleness(self) -> Optional[float]:
+        """Stable time minus response time — how long a weak response
+        floated tentatively; None until both exist."""
+        if self.stable_time is None or self.response_time is None:
+            return None
+        return self.stable_time - self.response_time
+
+    def timestamps(self) -> Dict[str, Optional[float]]:
+        """The full lifecycle timeline as a dict (JSON-able)."""
+        return {
+            "submit": self.submit_time,
+            "invoke": self.invoke_time,
+            "response": self.response_time,
+            "stable": self.stable_time,
+        }
+
     def __repr__(self) -> str:
         level = "strong" if self.strong else "weak"
         tail = "∇" if self.pending else repr(self._value)
@@ -179,6 +207,9 @@ class OpFuture:
     def _mark_invoked(self, dot: Dot, invoke_time: float) -> None:
         self.dot = dot
         self.invoke_time = invoke_time
+        if self.submit_time is None:
+            # Open-loop submissions skip the session queue entirely.
+            self.submit_time = invoke_time
 
     def _resolve(self, req: Req, value: Any, at: float, *, stable: bool) -> None:
         """Record the response. Idempotent: later calls only upgrade state."""
@@ -299,6 +330,7 @@ class Session:
     def submit(self, op: Operation, strong: bool = False) -> OpFuture:
         """Queue an operation; it runs when all earlier ones have returned."""
         future = OpFuture(op, strong=strong, pid=self.pid)
+        future.submit_time = self.cluster.sim.now
         self._queue.append(future)
         self.futures.append(future)
         self._maybe_schedule_pump()
@@ -318,6 +350,7 @@ class Session:
                 "use submit() to queue instead"
             )
         future = OpFuture(op, strong=strong, pid=self.pid)
+        future.submit_time = self.cluster.sim.now
         self.futures.append(future)
         self._launch(future)
         return future

@@ -1,0 +1,128 @@
+"""``python -m repro obs`` — render a recorded telemetry JSONL file.
+
+A run armed with ``.telemetry()`` (or a served replica with
+``"telemetry": true`` in its cluster spec) can dump its plane with
+:meth:`~repro.obs.Telemetry.write_jsonl`; this command turns that file
+back into the two human surfaces:
+
+- the **span timeline** — one indented block per trace, each span at its
+  offset from the trace's first event (sim-time and wall-clock recordings
+  render identically), and
+- the **metric summary** — counters, gauges and histogram percentiles
+  from the snapshot record at the end of the file.
+
+Usage::
+
+    python -m repro obs telemetry.jsonl              # timeline + metrics
+    python -m repro obs telemetry.jsonl --trace d0.3 # one op's story
+    python -m repro obs telemetry.jsonl --limit 5    # first 5 traces
+    python -m repro obs telemetry.jsonl --metrics    # metrics only
+    python -m repro obs telemetry.jsonl --record     # record a demo run
+
+``--record`` runs a small canonical traced deployment (two shards, two
+replicas each, a seeded closed-loop workload) and writes its plane to
+``path`` — the file CI uploads as the sample telemetry artifact, and the
+quickest way to get a file to point the renderer at.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.obs.export import (
+    orphan_spans,
+    read_jsonl,
+    render_metrics_summary,
+    render_timeline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Render the span timeline and metric summary of a telemetry "
+            "JSONL file recorded by a traced run."
+        ),
+    )
+    parser.add_argument("path", help="telemetry JSONL file to render")
+    parser.add_argument(
+        "--trace",
+        metavar="ID",
+        help="show only the trace with this id (e.g. d0.3 or S1:d0.3)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="show at most N traces",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="skip the timeline and print only the metric summary",
+    )
+    parser.add_argument(
+        "--record",
+        action="store_true",
+        help="record a small traced demo run into PATH instead of reading it",
+    )
+    return parser
+
+
+def _record_demo(path: str) -> int:
+    """Run the canonical traced demo deployment and dump its plane."""
+    from repro.datatypes import KVStore
+    from repro.scenario import Scenario
+
+    result = (
+        Scenario(KVStore(), name="obs-demo")
+        .shards(2)
+        .replicas(2)
+        .exec_delay(0.05)
+        .message_delay(0.2)
+        .telemetry(True)
+        .workload(
+            "kv",
+            keys=[f"k{i:02d}" for i in range(12)],
+            ops_per_session=6,
+            think_time=0.4,
+            seed=3,
+        )
+        .run(well_formed=False)
+    )
+    written = result.telemetry.write_jsonl(path)
+    print(f"wrote {written} records to {path}")
+    print(result.telemetry.describe())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.record:
+        return _record_demo(args.path)
+    events, metrics = read_jsonl(args.path)
+    if args.trace is not None:
+        events = [event for event in events if event.trace_id == args.trace]
+        if not events:
+            print(f"no spans for trace {args.trace!r}")
+            return 1
+    show_timeline = not args.metrics
+    # Narrowing to one trace implies the timeline is the point; a full
+    # render appends the metric summary after the traces.
+    show_metrics = args.metrics or args.trace is None
+    if show_timeline:
+        if events:
+            print(render_timeline(events, limit=args.limit))
+        else:
+            print("no spans recorded")
+        orphans = orphan_spans(events)
+        if orphans:
+            print(f"warning: {len(orphans)} orphan spans (parent not recorded)")
+    if show_metrics:
+        if metrics is not None:
+            print(render_metrics_summary(metrics))
+        else:
+            print("no metrics snapshot in file")
+    return 0

@@ -1,0 +1,71 @@
+"""Causal trace contexts: the identity an operation carries through its life.
+
+A :class:`TraceContext` is the (trace id, span id) pair stamped on an
+operation when it enters the system and propagated alongside it — through
+the router, the TOB engine, migration defer/retry, cross-shard plan legs,
+and (on the asyncio runtime) across TCP frames. Every telemetry span
+recorded for the op cites the trace id, so the per-op story can be
+reassembled from any mix of processes and runtimes.
+
+The key design decision: **op trace ids are derived from dots**. An
+operation's dot ``(pid, n)`` is already the globally unique, totally
+portable identity the protocol itself uses, so the trace id is simply
+``"d{pid}.{n}"`` (:func:`op_trace_id`). Any component that knows the dot
+— the TOB engine delivering a request, a replica committing it, a router
+that just learned the dot from ``submit`` — can reconstruct the context
+locally, without threading context objects through protocol signatures
+and without any id-allocation that could perturb determinism.
+
+Contexts still travel explicitly where no dot exists yet or where the
+receiver should not have to know the convention: the asyncio transport
+stamps the current context into an optional ``"trace"`` frame field
+(encoded via the durability codec registry, tag ``"~trace"``), and
+restores it around delivery on the far side. Old frames without the
+field decode exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.core.durability import register_codec
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """An immutable (trace id, span id, parent span id) triple."""
+
+    trace_id: str
+    span_id: str = "root"
+    parent_id: Optional[str] = None
+
+    def child(self, span_id: str) -> "TraceContext":
+        """A context for a child span of this one, same trace."""
+        return replace(self, span_id=span_id, parent_id=self.span_id)
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id}/{self.span_id})"
+
+
+def op_trace_id(dot: Tuple[int, int]) -> str:
+    """The canonical trace id for the operation identified by ``dot``."""
+    return f"d{dot[0]}.{dot[1]}"
+
+
+def op_context(dot: Tuple[int, int]) -> TraceContext:
+    """The root context of the operation identified by ``dot``."""
+    return TraceContext(trace_id=op_trace_id(dot))
+
+
+# Contexts cross process boundaries inside wire frames and may appear in
+# durable records; register them with the shared codec so both the
+# JSON-lines store and the TCP frame codec round-trip them.
+register_codec(
+    "~trace",
+    TraceContext,
+    lambda ctx: [ctx.trace_id, ctx.span_id, ctx.parent_id],
+    lambda payload: TraceContext(
+        trace_id=payload[0], span_id=payload[1], parent_id=payload[2]
+    ),
+)

@@ -1,0 +1,257 @@
+"""The online metrics registry: counters, gauges, streaming histograms.
+
+One :class:`MetricsRegistry` per telemetry plane. Instruments are created
+lazily and identified by ``(name, labels)`` — the same convention
+Prometheus uses — so ``registry.counter("bayou.ops_executed", pid=0)`` and
+``pid=1`` are distinct time series under one metric name. Lookups are one
+dict access; increments are one attribute add. Nothing here allocates per
+sample beyond the t-digest's amortised buffer, which is what lets the
+instruments live on protocol hot paths.
+
+Three instrument kinds:
+
+- :class:`Counter` — monotonically increasing float (``inc``);
+- :class:`Gauge` — a settable level (``set`` / ``inc`` / ``dec``), for
+  queue depths and backlog sizes;
+- :class:`Histogram` — streaming distribution: count / sum / min / max
+  exactly, percentiles approximately via :class:`~repro.obs.tdigest.TDigest`
+  (the fold the ROADMAP's constant-memory streaming item names).
+
+``render()`` emits the Prometheus text exposition format; ``snapshot()``
+returns a plain JSON-able dict for artifacts and RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs.tdigest import TDigest
+
+#: A frozen label set: sorted (key, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _labels_text(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{_labels_text(self.labels)}={self.value:g})"
+
+
+class Gauge:
+    """A level that can move both ways (queue depth, backlog size)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{_labels_text(self.labels)}={self.value:g})"
+
+
+class Histogram:
+    """Streaming distribution: exact count/sum/min/max, t-digest tails."""
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "digest")
+
+    def __init__(
+        self, name: str, labels: LabelKey, *, compression: int = 100
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.digest = TDigest(compression)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.digest.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        return self.digest.quantile(fraction)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{_labels_text(self.labels)}: "
+            f"n={self.count}, mean={self.mean:.4g}, "
+            f"p95={self.quantile(0.95):.4g})"
+        )
+
+
+class MetricsRegistry:
+    """Lazily created instruments, keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access (creation is lazy and idempotent)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self, name: str, *, compression: int = 100, **labels: Any
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(
+                name, key[1], compression=compression
+            )
+        return instrument
+
+    # ------------------------------------------------------------------
+    # Read surface
+    # ------------------------------------------------------------------
+    def counters(self, name: Optional[str] = None) -> Iterator[Counter]:
+        for (metric, _), instrument in sorted(self._counters.items()):
+            if name is None or metric == name:
+                yield instrument
+
+    def gauges(self, name: Optional[str] = None) -> Iterator[Gauge]:
+        for (metric, _), instrument in sorted(self._gauges.items()):
+            if name is None or metric == name:
+                yield instrument
+
+    def histograms(self, name: Optional[str] = None) -> Iterator[Histogram]:
+        for (metric, _), instrument in sorted(self._histograms.items()):
+            if name is None or metric == name:
+                yield instrument
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter metric across all label sets."""
+        return sum(instrument.value for instrument in self.counters(name))
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition format (stable ordering)."""
+        lines: List[str] = []
+        for instrument in self.counters():
+            lines.append(f"# TYPE {instrument.name} counter")
+            lines.append(
+                f"{instrument.name}{_labels_text(instrument.labels)} "
+                f"{instrument.value:g}"
+            )
+        for instrument in self.gauges():
+            lines.append(f"# TYPE {instrument.name} gauge")
+            lines.append(
+                f"{instrument.name}{_labels_text(instrument.labels)} "
+                f"{instrument.value:g}"
+            )
+        for instrument in self.histograms():
+            lines.append(f"# TYPE {instrument.name} summary")
+            labels = instrument.labels
+            base = instrument.name
+            for fraction in (0.5, 0.95, 0.99):
+                quantile_key = labels + (("quantile", f"{fraction:g}"),)
+                lines.append(
+                    f"{base}{_labels_text(quantile_key)} "
+                    f"{instrument.quantile(fraction):g}"
+                )
+            lines.append(
+                f"{base}_sum{_labels_text(labels)} {instrument.sum:g}"
+            )
+            lines.append(
+                f"{base}_count{_labels_text(labels)} {instrument.count:g}"
+            )
+        # Deduplicate consecutive TYPE lines for multi-series metrics.
+        deduped: List[str] = []
+        for line in lines:
+            if line.startswith("# TYPE") and deduped and deduped[-1] == line:
+                continue
+            if (
+                line.startswith("# TYPE")
+                and any(previous == line for previous in deduped)
+            ):
+                continue
+            deduped.append(line)
+        return "\n".join(deduped) + ("\n" if deduped else "")
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able dump (experiment artifacts, RPC responses)."""
+        return {
+            "counters": {
+                f"{c.name}{_labels_text(c.labels)}": c.value
+                for c in self.counters()
+            },
+            "gauges": {
+                f"{g.name}{_labels_text(g.labels)}": g.value
+                for g in self.gauges()
+            },
+            "histograms": {
+                f"{h.name}{_labels_text(h.labels)}": {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "min": h.min,
+                    "max": h.max,
+                    "mean": h.mean,
+                    "p50": h.quantile(0.5),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
+                }
+                for h in self.histograms()
+            },
+        }

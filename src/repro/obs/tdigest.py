@@ -1,0 +1,188 @@
+"""A merging t-digest: streaming quantile sketch in O(δ) memory.
+
+The ROADMAP's constant-memory streaming item needs commit-latency and
+staleness *percentiles* without keeping every sample; a t-digest (Dunning
+& Ertl) folds an unbounded stream into a bounded list of centroids whose
+sizes taper off near the tails, so extreme quantiles stay sharp while the
+middle compresses aggressively.
+
+This is the *merging* variant: new samples accumulate in an unsorted
+buffer and are merged into the centroid list only when the buffer fills —
+amortised O(log n) per sample, no tree structures, no third-party
+dependency. The size bound uses the standard scale function
+
+    k(q) = δ/(2π) · asin(2q − 1)
+
+whose derivative shrinks near q∈{0,1}: a centroid may absorb neighbours
+only while the merged weight keeps ``k`` within one unit, which forces
+singleton centroids at the tails (exact min/max) and wide ones in the
+middle. ``δ`` (``compression``) bounds the centroid count to ~2δ.
+
+Quantile queries interpolate linearly between centroid means, treating
+each centroid as centred at half its weight — the same convention the
+reference implementation uses, accurate to ~1/δ in rank.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+
+class TDigest:
+    """Bounded-memory streaming quantile estimator."""
+
+    __slots__ = ("compression", "_means", "_weights", "_buffer", "_count",
+                 "_min", "_max")
+
+    def __init__(self, compression: int = 100) -> None:
+        if compression < 10:
+            raise ValueError(
+                f"compression must be >= 10, got {compression!r}"
+            )
+        self.compression = compression
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        #: Unmerged samples; folded in when it reaches the buffer bound.
+        self._buffer: List[float] = []
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Fold one sample into the sketch."""
+        if weight != 1.0:
+            # Weighted points skip the buffer (rare; merge immediately).
+            self._compress(extra=[(float(value), float(weight))])
+        else:
+            self._buffer.append(float(value))
+            if len(self._buffer) >= 5 * self.compression:
+                self._compress()
+        self._count += weight if weight != 1.0 else 1
+        if value < self._min:
+            self._min = float(value)
+        if value > self._max:
+            self._max = float(value)
+
+    def update(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    # ------------------------------------------------------------------
+    # Merge machinery
+    # ------------------------------------------------------------------
+    def _k(self, q: float) -> float:
+        """The asin scale function bounding per-centroid weight."""
+        q = min(1.0, max(0.0, q))
+        return self.compression * (math.asin(2.0 * q - 1.0) / (2.0 * math.pi) + 0.25)
+
+    def _compress(self, extra: Optional[List[Tuple[float, float]]] = None) -> None:
+        points = list(zip(self._means, self._weights))
+        points.extend((v, 1.0) for v in self._buffer)
+        if extra:
+            points.extend(extra)
+        self._buffer = []
+        if not points:
+            return
+        points.sort(key=lambda p: p[0])
+        total = sum(weight for _, weight in points)
+        means: List[float] = []
+        weights: List[float] = []
+        # Greedy left-to-right merge: absorb the next point while the
+        # resulting cumulative rank keeps k() within one unit of where the
+        # current centroid began.
+        mean, weight = points[0]
+        seen = 0.0  # weight fully to the left of the current centroid
+        k_limit = self._k(0.0) + 1.0
+        for next_mean, next_weight in points[1:]:
+            if self._k((seen + weight + next_weight) / total) <= k_limit:
+                mean = (mean * weight + next_mean * next_weight) / (
+                    weight + next_weight
+                )
+                weight += next_weight
+            else:
+                means.append(mean)
+                weights.append(weight)
+                seen += weight
+                k_limit = self._k(seen / total) + 1.0
+                mean, weight = next_mean, next_weight
+        means.append(mean)
+        weights.append(weight)
+        self._means = means
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The value at rank fraction ``q`` (0 ≤ q ≤ 1), interpolated."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q!r}")
+        if self._buffer:
+            self._compress()
+        if not self._means:
+            return 0.0
+        if len(self._means) == 1:
+            return self._means[0]
+        total = sum(self._weights)
+        target = q * total
+        # Centroid i is centred at cumulative weight seen + weight/2.
+        seen = 0.0
+        centres = []
+        for mean, weight in zip(self._means, self._weights):
+            centres.append((seen + weight / 2.0, mean))
+            seen += weight
+        if target <= centres[0][0]:
+            # Below the first centre: interpolate from the true minimum.
+            c0, m0 = centres[0]
+            if c0 <= 0:
+                return self._min
+            frac = target / c0
+            return self._min + frac * (m0 - self._min)
+        if target >= centres[-1][0]:
+            c1, m1 = centres[-1]
+            span = total - c1
+            if span <= 0:
+                return self._max
+            frac = (target - c1) / span
+            return m1 + frac * (self._max - m1)
+        for (c0, m0), (c1, m1) in zip(centres, centres[1:]):
+            if c0 <= target <= c1:
+                if c1 == c0:
+                    return m0
+                frac = (target - c0) / (c1 - c0)
+                return m0 + frac * (m1 - m0)
+        return self._max  # pragma: no cover - unreachable
+
+    def percentiles(self, *fractions: float) -> Tuple[float, ...]:
+        return tuple(self.quantile(fraction) for fraction in fractions)
+
+    @property
+    def n_centroids(self) -> int:
+        if self._buffer:
+            self._compress()
+        return len(self._means)
+
+    def __len__(self) -> int:
+        return int(self._count)
+
+    def __repr__(self) -> str:
+        return (
+            f"TDigest(n={int(self._count)}, centroids={self.n_centroids}, "
+            f"min={self.minimum:.4g}, max={self.maximum:.4g})"
+        )

@@ -94,7 +94,13 @@ class AsyncioRuntime(Runtime):
         including our own (that entry is where our server binds).
     """
 
-    def __init__(self, pid: int, peers: Dict[int, Tuple[str, int]]) -> None:
+    def __init__(
+        self,
+        pid: int,
+        peers: Dict[int, Tuple[str, int]],
+        *,
+        telemetry: Optional[Any] = None,
+    ) -> None:
         if pid not in peers:
             raise ValueError(f"own pid {pid} missing from peer map {sorted(peers)}")
         self.pid = pid
@@ -110,6 +116,20 @@ class AsyncioRuntime(Runtime):
         # Transport counters (the sim network keeps the same ones).
         self.sent_count = 0
         self.delivered_count = 0
+        #: An optional :class:`~repro.obs.Telemetry` plane. When armed,
+        #: outbound frames carry the current trace context (old frames
+        #: without the field decode exactly as before) and the transport
+        #: exports frame/redial/queue-depth instruments.
+        self.telemetry = telemetry
+        if telemetry:
+            self._m_sent = telemetry.counter(
+                "repro_net_frames_sent", pid=pid
+            )
+            self._m_received = telemetry.counter(
+                "repro_net_frames_received", pid=pid
+            )
+            self._m_redials = telemetry.counter("repro_net_redials", pid=pid)
+            self._g_queue = telemetry.gauge("repro_net_queue_depth", pid=pid)
 
     # ------------------------------------------------------------------
     # Runtime surface
@@ -146,18 +166,32 @@ class AsyncioRuntime(Runtime):
 
     def send(self, sender: int, receiver: int, payload: Any) -> None:
         self.sent_count += 1
+        context = self.telemetry.current if self.telemetry else None
         if receiver == self.pid:
             # Loopback stays on the loop (never reentrant): protocol code
             # that sends to itself mid-handler sees the same "later" the
-            # simulated network gives it.
-            self._loop().call_soon(self._deliver_local, sender, payload)
+            # simulated network gives it. The trace context is captured
+            # now and restored at delivery, like a remote frame's would be.
+            self._loop().call_soon(
+                self._deliver_traced, sender, payload, context
+            )
             return
         if receiver not in self.peers:
             raise WireError(f"unknown receiver pid {receiver}")
-        frame = encode_frame({"kind": "msg", "sender": sender, "payload": payload})
+        message: Dict[str, Any] = {
+            "kind": "msg", "sender": sender, "payload": payload,
+        }
+        if context is not None:
+            message["trace"] = context
+        frame = encode_frame(message)
         link = self._link(receiver)
         link.queue.append(frame)
         link.wakeup.set()
+        if self.telemetry:
+            self._m_sent.inc()
+            self._g_queue.set(
+                sum(len(peer.queue) for peer in self._links.values())
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,6 +248,8 @@ class AsyncioRuntime(Runtime):
             try:
                 _, writer = await asyncio.open_connection(link.host, link.port)
             except OSError:
+                if self.telemetry:
+                    self._m_redials.inc()
                 await asyncio.sleep(backoff)
                 backoff = min(backoff * 2, _DIAL_BACKOFF_MAX)
                 continue
@@ -230,9 +266,18 @@ class AsyncioRuntime(Runtime):
                         # instead of silently dropping it.
                         link.queue.pop(0)
                         link.sent_frames += 1
+                        if self.telemetry:
+                            self._g_queue.set(
+                                sum(
+                                    len(peer.queue)
+                                    for peer in self._links.values()
+                                )
+                            )
                     link.wakeup.clear()
                     await link.wakeup.wait()
             except (ConnectionError, OSError):
+                if self.telemetry:
+                    self._m_redials.inc()
                 continue  # redial; unsent frames are still queued
             finally:
                 link.writer = None
@@ -268,8 +313,12 @@ class AsyncioRuntime(Runtime):
         if not isinstance(frame, dict) or "kind" not in frame:
             raise WireError(f"malformed frame {frame!r}")
         kind = frame["kind"]
+        if self.telemetry:
+            self._m_received.inc()
         if kind == "msg":
-            self._deliver_local(frame["sender"], frame["payload"])
+            self._deliver_traced(
+                frame["sender"], frame["payload"], frame.get("trace")
+            )
         elif kind == "rpc":
             reply: Dict[str, Any] = {"kind": "reply", "id": frame.get("id")}
             if self.rpc_handler is None:
@@ -285,6 +334,14 @@ class AsyncioRuntime(Runtime):
             await writer.drain()
         else:
             raise WireError(f"unknown frame kind {kind!r}")
+
+    def _deliver_traced(self, sender: int, payload: Any, context: Any) -> None:
+        """Deliver with the sender's trace context current, if one rode in."""
+        if self.telemetry and context is not None:
+            with self.telemetry.using(context):
+                self._deliver_local(sender, payload)
+        else:
+            self._deliver_local(sender, payload)
 
     def _deliver_local(self, sender: int, payload: Any) -> None:
         process = self._processes.get(self.pid)

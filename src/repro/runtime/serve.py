@@ -48,6 +48,7 @@ from repro.core.replica import BayouReplica
 from repro.core.request import Dot, Req
 from repro.datatypes import BankAccounts, Counter, KVStore, Register
 from repro.net.node import RoutingNode
+from repro.obs import Telemetry
 from repro.runtime.asyncio_net import AsyncioRuntime
 from repro.sim.clock import DriftingClock
 
@@ -80,6 +81,10 @@ class ClusterSpec:
     retransmit_interval: Optional[float] = None
     durability: str = "none"
     durability_dir: Optional[str] = None
+    #: Arm the telemetry plane: causal op traces (propagated across TCP
+    #: frames) and transport/engine instruments, read via the
+    #: ``telemetry`` RPC verb.
+    telemetry: bool = False
 
     def validate(self) -> None:
         if self.datatype not in DATATYPES:
@@ -116,6 +121,7 @@ class ClusterSpec:
             durability_dir=self.durability_dir,
             record_perceived_traces=False,
             enable_trace=False,
+            enable_telemetry=self.telemetry,
         )
 
     def peers(self) -> Dict[int, Tuple[str, int]]:
@@ -138,6 +144,7 @@ class ClusterSpec:
             "retransmit_interval": self.retransmit_interval,
             "durability": self.durability,
             "durability_dir": self.durability_dir,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -166,7 +173,14 @@ class ReplicaServer:
         self.spec = spec
         self.pid = pid
         config = spec.to_config()
-        self.runtime = AsyncioRuntime(pid, spec.peers())
+        #: Same plane as the simulator's, timestamped with wall-clock
+        #: runtime seconds instead of sim time.
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry() if spec.telemetry else None
+        )
+        self.runtime = AsyncioRuntime(
+            pid, spec.peers(), telemetry=self.telemetry
+        )
         self.node = RoutingNode(self.runtime, pid, name=f"rt-R{pid}")
         clock = DriftingClock(self.runtime.timeview)
         store = None
@@ -184,6 +198,7 @@ class ReplicaServer:
             config,
             responder=self._on_response,
             store=store,
+            telemetry=self.telemetry,
         )
         # Identical component wiring to BayouCluster._build, minus traces.
         self.omega: Optional[OmegaFailureDetector] = None
@@ -194,6 +209,7 @@ class ReplicaServer:
                 deliver_batch=self.replica.on_rb_deliver_batch,
                 sync_interval=config.ae_sync_interval,
                 store=store,
+                telemetry=self.telemetry,
             )
         else:
             self.replica.rb = ReliableBroadcast(
@@ -205,6 +221,7 @@ class ReplicaServer:
                 self.replica.on_tob_deliver,
                 sequencer_pid=config.sequencer_pid,
                 store=store,
+                telemetry=self.telemetry,
             )
         else:
             self.omega = OmegaFailureDetector(
@@ -218,6 +235,7 @@ class ReplicaServer:
                 self.omega,
                 retry_interval=config.paxos_retry_interval,
                 store=store,
+                telemetry=self.telemetry,
             )
         self.replica.commit_listener = self._on_commit
         self.runtime.rpc_handler = self._handle_rpc
@@ -234,11 +252,24 @@ class ReplicaServer:
         self, req: Req, response: Any, perceived: Tuple[Dot, ...], stable: bool
     ) -> None:
         self._responses[req.dot] = response
+        if self.telemetry and req.dot[0] == self.pid:
+            self.telemetry.op_span(
+                self.runtime.now(), self.pid, "respond", req.dot,
+                "respond", "root", stable=stable,
+            )
         for future in self._response_waiters.pop(req.dot, []):
             if not future.done():
                 future.set_result(response)
 
     def _on_commit(self, req: Req) -> None:
+        if self.telemetry and req.dot[0] == self.pid:
+            # Every served op is TOB-broadcast (base protocol), so its
+            # stabilisation always hangs off the commit — the same edge
+            # the simulator's cluster surface records for broadcast ops.
+            self.telemetry.op_span(
+                self.runtime.now(), self.pid, "stable", req.dot,
+                "stable", "commit",
+            )
         for future in self._stable_waiters.pop(req.dot, []):
             if not future.done():
                 future.set_result(True)
@@ -253,6 +284,14 @@ class ReplicaServer:
             return await self._rpc_invoke(args)
         if verb == "status":
             return self._rpc_status()
+        if verb == "telemetry":
+            if self.telemetry is None:
+                return {"enabled": False}
+            return {
+                "enabled": True,
+                "spans": self.telemetry.spans_jsonable(),
+                "metrics": self.telemetry.registry.snapshot(),
+            }
         if verb == "shutdown":
             if self._done is not None and not self._done.done():
                 self._done.set_result("rpc")
@@ -269,6 +308,11 @@ class ReplicaServer:
         response_future: asyncio.Future = loop.create_future()
         stable_future: asyncio.Future = loop.create_future()
         req = self.replica.invoke(op, strong=strong)
+        if self.telemetry:
+            self.telemetry.op_span(
+                self.runtime.now(), self.pid, "submit", req.dot,
+                "submit", "root", strong=strong,
+            )
         if req.dot in self._responses:
             response_future.set_result(self._responses[req.dot])
         else:

@@ -303,6 +303,38 @@ class Scenario:
         self._config_kwargs["seed"] = seed
         return self
 
+    def telemetry(
+        self, enabled: bool = True, *, capacity: Optional[int] = None
+    ) -> "Scenario":
+        """Attach the unified telemetry plane (:class:`repro.obs.Telemetry`).
+
+        Every op gets a causal span trace (submit → tob-propose → deliver
+        → execute-tentative → commit → stable) and the protocol engines
+        feed the online metrics registry; the result exposes both as
+        :attr:`RunResult.telemetry`. ``capacity`` bounds the span ring
+        (oldest dropped, drops counted). Instrumentation is append-only:
+        the run's outcome is bit-identical with telemetry on or off.
+        """
+        self._config_kwargs["enable_telemetry"] = enabled
+        if capacity is not None:
+            self._config_kwargs["trace_capacity"] = capacity
+        return self
+
+    def tracelog(
+        self, enabled: bool = True, *, capacity: Optional[int] = None
+    ) -> "Scenario":
+        """Configure the diagnostic :class:`~repro.sim.trace.TraceLog`.
+
+        ``capacity`` turns it into a bounded ring (oldest entries evicted,
+        evictions counted) — long runs keep a sliding window instead of
+        accreting per-event records without bound. ``tracelog(False)``
+        disables it entirely, as scale benchmarks do.
+        """
+        self._config_kwargs["enable_trace"] = enabled
+        if capacity is not None:
+            self._config_kwargs["trace_capacity"] = capacity
+        return self
+
     def config(self, **overrides: Any) -> "Scenario":
         """Escape hatch: raw :class:`BayouConfig` field overrides."""
         self._config_kwargs.update(overrides)
@@ -1091,3 +1123,33 @@ class RunResult:
     @property
     def strong_latencies(self) -> List[float]:
         return self.latencies(STRONG)
+
+    # -- telemetry -----------------------------------------------------
+    @property
+    def telemetry(self):
+        """The run's telemetry plane (``None`` unless ``.telemetry()``)."""
+        return self.cluster.telemetry
+
+    def op_timestamps(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """label -> submit/invoke/response/stable times of labelled ops."""
+        return {
+            label: future.timestamps()
+            for label, future in self.futures.items()
+        }
+
+    def commit_latencies(self) -> List[float]:
+        """Stable-minus-invoke times of every labelled op that stabilised."""
+        return [
+            future.commit_latency
+            for future in self.futures.values()
+            if future.commit_latency is not None
+        ]
+
+    def weak_staleness(self) -> List[float]:
+        """Stable-minus-response times of labelled weak ops (how long each
+        tentative response floated before its position became final)."""
+        return [
+            future.staleness
+            for future in self.futures.values()
+            if not future.strong and future.staleness is not None
+        ]

@@ -98,9 +98,22 @@ class PlacementController:
         self.router = router
         self.deployment: "ShardedCluster" = router.deployment
         self.policy: PlacementPolicy = make_policy(policy)
-        self.stats = stats if stats is not None else ShardStats(
-            self.deployment.n_shards
-        )
+        telemetry = router.telemetry
+        if stats is None:
+            # Share the telemetry plane's registry when it is armed, so
+            # the controller decides from the same instruments the
+            # observability exporters render.
+            stats = ShardStats(
+                self.deployment.n_shards,
+                registry=telemetry.registry if telemetry else None,
+            )
+        self.stats = stats
+        if telemetry:
+            self._m_ticks = telemetry.counter("repro_control_ticks")
+            self._m_actions = telemetry.counter("repro_control_actions")
+            self._m_held_back = telemetry.counter("repro_control_held_back")
+        else:
+            self._m_ticks = self._m_actions = self._m_held_back = None
         self.interval = interval
         self.threshold = threshold
         self.hysteresis = hysteresis
@@ -176,6 +189,8 @@ class PlacementController:
             self._dormant = True
             return
         self.ticks += 1
+        if self._m_ticks is not None:
+            self._m_ticks.inc()
         view = self._view(now)
         ratio = view.imbalance
         if not self._armed and ratio < self.threshold * self.hysteresis:
@@ -190,9 +205,9 @@ class PlacementController:
                 if action is not None:
                     self._execute(action, now)
                 else:
-                    self.held_back += 1
+                    self._hold_back()
             else:
-                self.held_back += 1
+                self._hold_back()
         self.stats.sketch.scale(self.decay)
         self._schedule_tick()
 
@@ -235,12 +250,19 @@ class PlacementController:
             # A refused migration (endpoint mid-handoff after all, shard
             # crashed, ...) is a held-back tick, not a crash: the loop
             # re-evaluates next interval against fresh state.
-            self.held_back += 1
+            self._hold_back()
             return
         self._moved_at[action.key] = now
         self._armed = False
         self._cooldown_until = now + self.cooldown
+        if self._m_actions is not None:
+            self._m_actions.inc()
         self.actions.append(ControlAction(now, self.ticks, action, migration))
+
+    def _hold_back(self) -> None:
+        self.held_back += 1
+        if self._m_held_back is not None:
+            self._m_held_back.inc()
 
     # ------------------------------------------------------------------
     # Reporting

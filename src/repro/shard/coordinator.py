@@ -87,6 +87,10 @@ class CrossShardCoordinator:
 
     def __init__(self, router: "ShardRouter") -> None:
         self.router = router
+        #: The deployment's telemetry plane (None when unarmed). Each
+        #: staged plan gets its own client-side trace ("xs1", "xs2", …)
+        #: since the parent op holds no dot to derive one from.
+        self.telemetry = router.telemetry
         #: Total cross-shard operations staged (for experiment reports).
         self.staged_count = 0
         #: How many of them decided to commit / to abort.
@@ -131,8 +135,32 @@ class CrossShardCoordinator:
         if future.pid < 0:
             future.pid = pid
         future.plan_epoch = self.router.epoch
+        if self.telemetry:
+            future._trace = self.telemetry.next_trace("xs")
+            self.telemetry.counter("repro_xshard_plans", outcome="staged").inc()
+            self._plan_span(
+                future, "stage", None,
+                op=str(op), epoch=future.plan_epoch,
+                prepares=len(plan.prepare),
+            )
         self._stage_prepares(future, plan)
         return future
+
+    def _plan_span(
+        self, future: CrossShardFuture, name: str, parent: Optional[str],
+        **attrs,
+    ) -> None:
+        trace = getattr(future, "_trace", None)
+        if not self.telemetry or trace is None:
+            return
+        self.telemetry.tracer.record(
+            self.router.sim.now, future.pid, name, trace, name, parent,
+            **attrs,
+        )
+
+    def _count_sub(self, event: str) -> None:
+        if self.telemetry:
+            self.telemetry.counter("repro_xshard_subs", event=event).inc()
 
     def _stage_prepares(self, future: CrossShardFuture, plan: CrossShardPlan) -> None:
         """Launch (or relaunch, after a replan) the prepare phase."""
@@ -220,6 +248,7 @@ class CrossShardCoordinator:
             shard_index = self.router.resolve_owner(key)
         except MigrationInProgress as exc:
             self.deferred_subs += 1
+            self._count_sub("deferred")
             exc.migration.deferred_ops += 1
             exc.migration.when_complete(
                 self._retry(key, op, pid=pid, deliver=deliver,
@@ -244,8 +273,12 @@ class CrossShardCoordinator:
                     # one forward, and an epoch bump that left the key's
                     # owner alone registers none.
                     self.forwarded_subs += 1
-                self.router._count_routed(shard_index)
-                deliver(cluster.submit(candidate, op, strong=True))
+                    self._count_sub("forwarded")
+                deliver(
+                    self.router._submit_routed(
+                        shard_index, candidate, op, strong=True
+                    )
+                )
                 return
         recoverable = [
             node for node in cluster.nodes if node.crash_mode == "recover"
@@ -267,6 +300,7 @@ class CrossShardCoordinator:
             recoverable[0].register_crash_hooks(on_recover=once)
             return
         self.lost_count += 1
+        self._count_sub("lost")
 
     def _retry(self, key, op, *, pid, deliver, future, plan, phase):
         """A parked re-submission, generation-guarded against replans."""
@@ -302,6 +336,12 @@ class CrossShardCoordinator:
             self.committed_count += 1
         else:
             self.aborted_count += 1
+        if self.telemetry:
+            self.telemetry.counter(
+                "repro_xshard_plans",
+                outcome="committed" if success else "aborted",
+            ).inc()
+            self._plan_span(future, "decide", "stage", committed=success)
         batch = plan.commit if success else plan.abort
         future._pending_subs = len(batch)
 
@@ -321,9 +361,11 @@ class CrossShardCoordinator:
             )
         future._respond(rval, self.router.sim.now)
         if future._pending_subs == 0:
+            self._plan_span(future, "stable", "decide")
             future._mark_stable(self.router.sim.now)
 
     def _sub_stable(self, future: CrossShardFuture) -> None:
         future._pending_subs -= 1
         if future._pending_subs == 0:
+            self._plan_span(future, "stable", "decide")
             future._mark_stable(self.router.sim.now)

@@ -40,6 +40,7 @@ from repro.datatypes.base import DataType
 from repro.errors import MigrationError
 from repro.net.faults import CrashSchedule, MessageFilter
 from repro.net.partition import PartitionSchedule
+from repro.obs import Telemetry
 from repro.shard.migration import Migration
 from repro.shard.partitioner import (
     Partitioner,
@@ -71,6 +72,16 @@ class ShardedCluster:
         self.datatype = datatype
         self.config = config or BayouConfig()
         self.protocol = protocol
+        #: One telemetry plane for the whole deployment: every shard's
+        #: cluster records into it through a scope named after the shard
+        #: ("S1:" trace-id prefixes, ``shard`` labels), so dot collisions
+        #: across shards (each has a replica 0 minting ``(0, 1)``) never
+        #: merge two ops' traces.
+        self.telemetry = (
+            Telemetry(trace_capacity=self.config.trace_capacity)
+            if self.config.enable_telemetry
+            else None
+        )
         #: The epoch-versioned placement chain (epoch 0 = the base map).
         self.shard_maps = VersionedShardMap(ShardMap(n_shards, partitioner))
         self.sim = Simulator()
@@ -98,6 +109,7 @@ class ShardedCluster:
                     crashes=(crashes or {}).get(index),
                     sim=self.sim,
                     name=f"S{index}",
+                    telemetry=self.telemetry,
                 )
             )
         self._placement_store = self._open_placement_store()
@@ -325,6 +337,7 @@ class ShardedCluster:
                 protocol=self.protocol,
                 sim=self.sim,
                 name=f"S{index}",
+                telemetry=self.telemetry,
             )
         )
         return index

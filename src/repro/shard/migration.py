@@ -173,6 +173,17 @@ class Migration:
         self._barrier_dot: Optional[Dot] = None
         self._install_dot: Optional[Dot] = None
         self._install_pid: Optional[int] = None
+        # One named trace per migration ("mig-e<target epoch>") carries
+        # the protocol phases as spans; stranded migrations end with a
+        # "strand" span instead of "activate".
+        telemetry = deployment.telemetry
+        self._trace: Optional[str] = (
+            telemetry.named_trace(
+                f"mig-e{deployment.shard_maps.epoch + 1}"
+            )
+            if telemetry
+            else None
+        )
         #: (key, register, value) triples of the frozen snapshot.
         self._moving_payload: List[Any] = []
         self._twins: List[Req] = []
@@ -213,6 +224,22 @@ class Migration:
     def describe(self) -> str:
         return f"{self.reassignment.describe()} [{self.state}]"
 
+    def _span(self, name: str, parent: Optional[str], **attrs: Any) -> None:
+        telemetry = self.deployment.telemetry
+        if not telemetry or self._trace is None:
+            return
+        telemetry.tracer.record(
+            self.deployment.sim.now, self.pid, name,
+            self._trace, name, parent, **attrs,
+        )
+
+    def _count(self, outcome: str) -> None:
+        telemetry = self.deployment.telemetry
+        if telemetry:
+            telemetry.counter(
+                "repro_migrations", outcome=outcome
+            ).inc()
+
     # ------------------------------------------------------------------
     # 1. Stage: the epoch barrier through the source TOB
     # ------------------------------------------------------------------
@@ -227,6 +254,12 @@ class Migration:
         # Invoked directly on the replica (not through the cluster's
         # client surface): the barrier is protocol traffic, so it holds
         # no history event and no client future — only a TOB position.
+        self._span(
+            "stage", None,
+            reassignment=self.reassignment.describe(),
+            src=self.src, dst=self.dst,
+        )
+        self._count("started")
         self._barrier_dot = replica.invoke(barrier, strong=True).dot
         self._hook_commit_listeners(source, self._barrier_dot, self._on_barrier)
         self._watch_endpoints()
@@ -281,6 +314,8 @@ class Migration:
         self.state = STRANDED
         self.stranded_at = self.deployment.sim.now
         self.error = MigrationStrandedError(reason, migration=self)
+        self._span("strand", "stage", reason=reason)
+        self._count("stranded")
         self._unhook_commit_listeners()
         self.deployment._strand_migration(self)
         callbacks, self._completion_callbacks = self._completion_callbacks, []
@@ -394,6 +429,12 @@ class Migration:
                     self.partial_key_requests += 1
                 twins[req.dot] = req
         self._twins = sorted(twins.values())  # (timestamp, dot) order
+        self._span(
+            "barrier", "stage",
+            moved_registers=self.moved_registers,
+            suffix=len(self._twins),
+            duplicate_drops=self.duplicate_drops,
+        )
 
         self.deployment.sim.schedule(
             self.transfer_delay,
@@ -438,6 +479,7 @@ class Migration:
         install = Operation(
             MIGRATION_INSTALL_OP, (tuple(self._moving_payload),)
         )
+        self._span("install", "barrier", pid=replica.pid)
         self._install_dot = replica.invoke(install, strong=True).dot
         self._hook_commit_listeners(
             destination, self._install_dot, self._on_install_committed
@@ -465,6 +507,12 @@ class Migration:
         self.activated_at = self.deployment.sim.now
         self.deployment._activate_epoch(self)
         self.state = COMPLETE
+        self._span(
+            "activate", "install",
+            transferred=self.transferred_requests,
+            deferred=self.deferred_ops,
+        )
+        self._count("completed")
         callbacks, self._completion_callbacks = self._completion_callbacks, []
         for callback in callbacks:
             callback()

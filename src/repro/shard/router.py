@@ -33,7 +33,7 @@ expects, so random keyed workloads drive sharded deployments unchanged.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Hashable, List, Optional, TYPE_CHECKING, Tuple
+from typing import Any, Deque, Dict, Hashable, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.core.session import OpFuture, resolve_operation
 from repro.datatypes.base import Operation
@@ -51,6 +51,15 @@ class ShardRouter:
     def __init__(self, deployment: ShardedCluster) -> None:
         self.deployment = deployment
         self.datatype = deployment.datatype
+        #: The deployment's shared telemetry plane (None when unarmed).
+        #: Route spans land on the owner shard's scoped trace — the same
+        #: "S1:d0.3" trace the shard's own protocol spans use.
+        self.telemetry = deployment.telemetry
+        self._scopes: Dict[int, Any] = {}
+        if self.telemetry is not None:
+            self._m_routed: Dict[int, Any] = {}
+            self._m_forwarded = self.telemetry.counter("repro_routes_forwarded")
+            self._m_deferred = self.telemetry.counter("repro_routes_deferred")
         self.coordinator = CrossShardCoordinator(self)
         #: Operations routed per shard (for skew/placement reports);
         #: grows when a split spawns a shard.
@@ -105,14 +114,63 @@ class ShardRouter:
             self.routed_counts.append(0)
         self.routed_counts[shard] += 1
         if self.stats is not None:
+            # The stats sink owns these instruments (it shares the
+            # telemetry registry when both planes are armed) — counting
+            # here too would double every routed op.
             keys = self.datatype.keys_of(op) if op is not None else ()
             self.stats.record_op(shard, keys)
+        elif self.telemetry:
+            counter = self._m_routed.get(shard)
+            if counter is None:
+                counter = self._m_routed[shard] = self.telemetry.counter(
+                    "repro_ops_routed", shard=f"S{shard}"
+                )
+            counter.inc()
 
     def _count_deferred(self, migration) -> None:
         self.deferred_count += 1
         migration.deferred_ops += 1
         if self.stats is not None:
             self.stats.record_deferred()
+        elif self.telemetry:
+            self._m_deferred.inc()
+
+    def _shard_scope(self, shard: int):
+        scope = self._scopes.get(shard)
+        if scope is None:
+            scope = self._scopes[shard] = self.telemetry.scoped(f"S{shard}")
+        return scope
+
+    def _submit_routed(
+        self,
+        shard: int,
+        pid: int,
+        op: Operation,
+        *,
+        strong: bool,
+        future: Optional[OpFuture] = None,
+    ) -> OpFuture:
+        """Count, submit to the owner shard, and record the route span.
+
+        The span is recorded *after* the shard accepted the submission —
+        only then does the op have a dot, hence a trace to attach to.
+        """
+        self._count_routed(shard, op)
+        result = self.deployment.shards[shard].submit(
+            pid, op, strong=strong, future=future
+        )
+        if self.telemetry and result.dot is not None:
+            self._shard_scope(shard).op_span(
+                self.sim.now,
+                pid,
+                "route",
+                result.dot,
+                "route",
+                "root",
+                shard=shard,
+                epoch=self.epoch,
+            )
+        return result
 
     def _check_migration(self, key: Hashable, owner: int) -> None:
         """Raise :class:`MigrationInProgress` if ``key`` is mid-handoff."""
@@ -214,10 +272,7 @@ class ShardRouter:
             if future is not None and not isinstance(future, CrossShardFuture):
                 return self._stage_adapted(op, plan, pid=pid, future=future)
             return self.coordinator.stage(op, plan, pid=pid, future=future)
-        self._count_routed(shard, op)
-        return self.deployment.shards[shard].submit(
-            pid, op, strong=strong, future=future
-        )
+        return self._submit_routed(shard, pid, op, strong=strong, future=future)
 
     def _defer(
         self,
@@ -273,8 +328,7 @@ class ShardRouter:
     ) -> OpFuture:
         """Submit one staged sub-operation directly to ``key``'s shard."""
         shard = self.resolve_owner(key)
-        self._count_routed(shard, op)
-        return self.deployment.shards[shard].submit(pid, op, strong=strong)
+        return self._submit_routed(shard, pid, op, strong=strong)
 
     def connect(
         self, pid: int = 0, *, think_time: float = 0.0, on_response=None
@@ -394,6 +448,7 @@ class ShardedSession:
             else:
                 future = OpFuture(op, strong=strong, pid=self.pid)
             future._route = (shard, plan, self.router.epoch)
+        future.submit_time = self.router.sim.now
         self._queue.append(future)
         self.futures.append(future)
         self._maybe_schedule_pump()
@@ -458,6 +513,8 @@ class ShardedSession:
             return False
         if route is not None and route[0] != shard:
             self.router.forwarded_count += 1
+            if self.router.telemetry:
+                self.router._m_forwarded.inc()
         future._route = (shard, plan, self.router.epoch)
         return True
 
@@ -507,9 +564,8 @@ class ShardedSession:
                     future.op, plan, pid=self.pid, future=future
                 )
         else:
-            self.router._count_routed(shard, future.op)
-            self.router.deployment.shards[shard].submit(
-                self.pid, future.op, strong=future.strong, future=future
+            self.router._submit_routed(
+                shard, self.pid, future.op, strong=future.strong, future=future
             )
         # Registered after the submission: the modified protocol responds
         # to weak operations synchronously, in which case this callback

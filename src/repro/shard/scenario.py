@@ -321,6 +321,11 @@ class ShardedRunResult:
         return all(bool(report.ok) for report in self.checks[name])
 
     # -- state and metrics ---------------------------------------------
+    @property
+    def telemetry(self):
+        """The deployment's shared telemetry plane (None when unarmed)."""
+        return self.deployment.telemetry
+
     def query(self, op: Operation) -> Any:
         """Execute a read-only ``op`` on its owner shard's converged state."""
         return self.router.query(op)

@@ -4,12 +4,19 @@ Protocols append :class:`TraceEntry` records to a shared :class:`TraceLog`.
 The formal-framework builders (:mod:`repro.framework.builder`) and the
 experiment reports consume these traces; tests use them to assert that a
 specific schedule (e.g. the Figure 1 interleaving) actually occurred.
+
+With a ``capacity`` the log becomes a ring: the oldest entries are
+evicted (and counted in :attr:`TraceLog.dropped`) instead of accreting
+without bound — long runs keep a sliding window of recent protocol
+activity rather than the whole execution. ``BayouConfig.trace_capacity``
+threads this through :class:`~repro.scenario.Scenario`.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -26,16 +33,27 @@ class TraceEntry:
 
 
 class TraceLog:
-    """An append-only log of :class:`TraceEntry` records with simple queries."""
+    """An append-only log of :class:`TraceEntry` records with simple queries.
 
-    def __init__(self) -> None:
-        self._entries: List[TraceEntry] = []
+    ``capacity`` turns it into a bounded ring: the oldest entries are
+    evicted and counted in :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        #: Entries evicted by the ring (0 while unbounded or under capacity).
+        self.dropped = 0
 
     def record(
         self, time: float, process: int, kind: str, **data: Any
     ) -> TraceEntry:
         """Append an entry and return it."""
         entry = TraceEntry(time=time, process=process, kind=kind, data=dict(data))
+        if self.capacity is not None and len(self._entries) == self.capacity:
+            self.dropped += 1
         self._entries.append(entry)
         return entry
 

@@ -1,0 +1,322 @@
+"""The telemetry plane end-to-end: complete span trees, honest metrics.
+
+ISSUE 9's acceptance bar, as tests:
+
+- every committed operation in a traced run has a **complete causal span
+  tree** — submit → TOB cast → deliver → commit → tentative execution →
+  respond → stable, all hanging off one root, with **zero orphans**
+  (a span whose parent was never recorded means a protocol hop lost its
+  trace context);
+- sharded runs add the router's ``route`` span and scope trace ids per
+  shard (``S1:d0.3``) so colliding replica dots stay distinguishable;
+- autonomous migrations narrate their protocol phases on a ``mig-e<N>``
+  trace (stage → barrier → install → activate);
+- the metrics registry's counters/histograms agree with ground truth the
+  run can compute exactly;
+- the span ring honours its capacity bound and counts drops;
+- the JSONL exporter round-trips, and ``python -m repro obs`` renders it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes import KVStore
+from repro.obs import Telemetry, orphan_spans, read_jsonl
+from repro.obs.cli import main as obs_main
+from repro.scenario import Scenario
+
+#: Span names every committed, TOB-broadcast op must record (single
+#: cluster; sharded ops add "route"). ``exec.tentative`` may repeat when
+#: reordering forces rollback/replay — sets, not multisets, on purpose.
+OP_SPAN_NAMES = {
+    "op",
+    "submit",
+    "tob.cast",
+    "tob.deliver",
+    "commit",
+    "exec.tentative",
+    "respond",
+    "stable",
+}
+
+KEYS = [f"k{i:02d}" for i in range(12)]
+
+
+def _single_run():
+    return (
+        Scenario(KVStore(), name="obs-single")
+        .replicas(3)
+        .exec_delay(0.05)
+        .message_delay(0.3)
+        .telemetry(True)
+        .invoke(1.0, 0, KVStore.put("k00", "a"), label="w0")
+        .invoke(1.2, 1, KVStore.put("k01", "b"), label="w1")
+        .invoke(1.4, 2, KVStore.put("k02", "c"), strong=True, label="s0")
+        .invoke(4.0, 0, KVStore.get("k00"), label="r0")
+        .invoke(4.1, 1, KVStore.get("k01"), strong=True, label="s1")
+        .invoke(6.0, 2, KVStore.remove("k02"), label="w2")
+        .run(well_formed=False)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Complete span trees, single cluster
+# ---------------------------------------------------------------------------
+
+
+def test_every_committed_op_has_a_complete_span_tree():
+    result = _single_run()
+    telemetry = result.telemetry
+    assert telemetry is not None and telemetry.enabled
+
+    events = list(telemetry.tracer)
+    assert orphan_spans(events) == []
+
+    trees = telemetry.trees()
+    for label, future in result.futures.items():
+        assert future.stable, f"{label} did not stabilise"
+        trace_id = telemetry.trace_id(future.dot)
+        assert trace_id in trees, f"{label}: no trace {trace_id}"
+        names = {event.name for _depth, event in trees[trace_id].walk()}
+        assert names == OP_SPAN_NAMES, f"{label}: incomplete tree {names}"
+
+
+def test_span_parent_edges_form_one_rooted_tree_per_op():
+    result = _single_run()
+    telemetry = result.telemetry
+    for trace_id, tree in telemetry.trees().items():
+        events = [event for _depth, event in tree.walk()]
+        roots = [event for event in events if event.parent_id is None]
+        assert len(roots) == 1, f"{trace_id}: {len(roots)} roots"
+        assert roots[0].name == "op"
+        span_ids = {event.span_id for event in events}
+        for event in events:
+            if event.parent_id is not None:
+                assert event.parent_id in span_ids
+
+
+def test_span_timestamps_follow_causal_order():
+    result = _single_run()
+    telemetry = result.telemetry
+    for future in result.futures.values():
+        events = [
+            event
+            for event in telemetry.tracer
+            if event.trace_id == telemetry.trace_id(future.dot)
+        ]
+        by_name = {event.name: event.time for event in events}
+        assert by_name["op"] <= by_name["submit"]
+        assert by_name["submit"] <= by_name["tob.cast"]
+        assert by_name["tob.cast"] <= by_name["tob.deliver"]
+        assert by_name["tob.deliver"] <= by_name["commit"]
+        assert by_name["commit"] <= by_name["stable"]
+        assert by_name["stable"] == future.stable_time
+
+
+# ---------------------------------------------------------------------------
+# Sharded: route spans, scoped traces, migration narration
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_ops_gain_route_spans_under_scoped_traces():
+    result = (
+        Scenario(KVStore(), name="obs-sharded")
+        .shards(2)
+        .replicas(2)
+        .exec_delay(0.05)
+        .message_delay(0.2)
+        .telemetry(True)
+        .workload(
+            "kv", keys=KEYS, ops_per_session=6, think_time=0.4, seed=3
+        )
+        .run(well_formed=False)
+    )
+    telemetry = result.telemetry
+    assert orphan_spans(list(telemetry.tracer)) == []
+
+    op_trees = {
+        trace_id: tree
+        for trace_id, tree in telemetry.trees().items()
+        if len(tree.roots) == 1 and tree.roots[0].event.name == "op"
+    }
+    assert op_trees, "no op traces recorded"
+    for trace_id, tree in op_trees.items():
+        assert trace_id.startswith("S"), f"unscoped sharded trace {trace_id}"
+        names = {event.name for _depth, event in tree.walk()}
+        assert names == OP_SPAN_NAMES | {"route"}, (
+            f"{trace_id}: incomplete sharded tree {names}"
+        )
+
+    routed = telemetry.registry.counter_total("repro_ops_routed")
+    assert routed == len(op_trees)
+
+
+def test_autoscale_migration_narrates_protocol_phases():
+    result = (
+        Scenario(KVStore(), name="obs-migration")
+        .shards(2)
+        .replicas(2)
+        .exec_delay(0.1)
+        .message_delay(0.2)
+        .telemetry(True)
+        .autoscale(
+            "power-of-two",
+            interval=1.0,
+            threshold=1.2,
+            cooldown=2.0,
+            min_window_ops=4,
+        )
+        .workload(
+            "kv",
+            keys=KEYS,
+            key_skew="zipf",
+            zipf_s=1.8,
+            ops_per_session=12,
+            think_time=0.3,
+            seed=7,
+            sessions=6,
+        )
+        .run(well_formed=False)
+    )
+    assert result.deployment.migrations, "controller never migrated"
+    telemetry = result.telemetry
+
+    trees = telemetry.trees()
+    assert "mig-e1" in trees, f"no migration trace in {sorted(trees)[:5]}"
+    phases = [event.name for _depth, event in trees["mig-e1"].walk()]
+    assert phases == ["stage", "barrier", "install", "activate"]
+
+    completed = telemetry.registry.counter(
+        "repro_migrations", outcome="completed"
+    )
+    assert completed.value == sum(
+        1 for migration in result.deployment.migrations if migration.complete
+    )
+    assert orphan_spans(list(telemetry.tracer)) == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics agree with ground truth
+# ---------------------------------------------------------------------------
+
+
+def test_metrics_registry_reflects_protocol_counts():
+    result = _single_run()
+    registry = result.telemetry.registry
+    n_ops = len(result.futures)
+
+    assert registry.counter_total("repro_ops_submitted") == n_ops
+    assert registry.counter_total("repro_tob_casts") == n_ops
+    # Every replica executes every committed op at least once.
+    assert registry.counter_total("repro_executions") >= 3 * n_ops
+
+    latency = registry.histogram("repro_op_commit_latency")
+    latencies = result.commit_latencies()
+    assert latency.count == len(latencies)
+    assert latency.max == max(latencies)
+    assert latency.sum == pytest.approx(sum(latencies))
+
+    staleness = registry.histogram("repro_weak_staleness")
+    samples = result.weak_staleness()
+    assert staleness.count == len(samples)
+    assert staleness.sum == pytest.approx(sum(samples))
+
+    rendered = result.telemetry.render_metrics()
+    assert "repro_ops_submitted" in rendered
+    assert "repro_op_commit_latency" in rendered
+
+
+def test_runresult_latency_surfaces_are_consistent():
+    result = _single_run()
+    stamps = result.op_timestamps()
+    assert set(stamps) == set(result.futures)
+    for label, future in result.futures.items():
+        times = stamps[label]
+        assert times["submit"] <= times["invoke"] <= times["response"]
+        assert times["response"] <= times["stable"]
+        assert future.commit_latency == times["stable"] - times["invoke"]
+    weak = [label for label, f in result.futures.items() if not f.strong]
+    assert len(result.weak_staleness()) == len(weak)
+    assert len(result.commit_latencies()) == len(result.futures)
+
+
+# ---------------------------------------------------------------------------
+# Capacity, disabled plane
+# ---------------------------------------------------------------------------
+
+
+def test_span_ring_honours_capacity_and_counts_drops():
+    result = (
+        Scenario(KVStore(), name="obs-ring")
+        .replicas(3)
+        .exec_delay(0.05)
+        .message_delay(0.3)
+        .telemetry(True, capacity=16)
+        .workload(
+            "kv", keys=KEYS, ops_per_session=8, think_time=0.4, seed=5
+        )
+        .run(well_formed=False)
+    )
+    tracer = result.telemetry.tracer
+    assert len(tracer) == 16
+    assert tracer.dropped > 0
+    snapshot = result.telemetry.snapshot()
+    assert snapshot["spans"] == 16
+    assert snapshot["spans_dropped"] == tracer.dropped
+
+
+def test_untraced_run_has_no_plane_and_disabled_plane_is_falsy():
+    result = (
+        Scenario(KVStore(), name="obs-off")
+        .replicas(2)
+        .invoke(1.0, 0, KVStore.put("k", "v"), label="w")
+        .run(well_formed=False)
+    )
+    assert result.telemetry is None
+
+    disabled = Telemetry(enabled=False)
+    assert not disabled  # components guard with ``if self.telemetry:``
+    assert bool(Telemetry())
+
+
+# ---------------------------------------------------------------------------
+# Export + CLI
+# ---------------------------------------------------------------------------
+
+
+def test_jsonl_export_round_trips(tmp_path):
+    result = _single_run()
+    telemetry = result.telemetry
+    path = tmp_path / "telemetry.jsonl"
+    written = telemetry.write_jsonl(str(path))
+    assert written == len(telemetry.tracer) + 1  # spans + metrics snapshot
+
+    events, metrics = read_jsonl(str(path))
+    assert [e.name for e in events] == [e.name for e in telemetry.tracer]
+    assert [e.trace_id for e in events] == [
+        e.trace_id for e in telemetry.tracer
+    ]
+    assert metrics == telemetry.registry.snapshot()
+
+
+def test_obs_cli_renders_timeline_and_metrics(tmp_path, capsys):
+    result = _single_run()
+    path = tmp_path / "telemetry.jsonl"
+    result.telemetry.write_jsonl(str(path))
+    some_trace = result.telemetry.trace_id(result.futures["w0"].dot)
+
+    assert obs_main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert some_trace in out
+    assert "repro_ops_submitted" in out
+
+    assert obs_main([str(path), "--trace", some_trace]) == 0
+    out = capsys.readouterr().out
+    assert some_trace in out and "tob.deliver" in out
+
+    assert obs_main([str(path), "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "repro_ops_submitted" in out
+
+    assert obs_main([str(path), "--trace", "nope"]) == 1

@@ -1,0 +1,124 @@
+"""Cross-runtime tracing: real-socket runs tell the same causal story.
+
+ISSUE 9's cross-runtime acceptance check: drive the *same* scripted
+workload against a simulated cluster and a realtime cluster (three OS
+processes over localhost TCP, traces propagated inside the wire frames),
+fetch the realtime plane over the new ``telemetry`` RPC verb, and require
+**span-structure equality** — for every operation, both substrates record
+the identical set of ``(name, span_id, parent_id)`` edges under the same
+dot-derived trace id. Only the timestamps differ: virtual sim time on one
+side, wall-clock seconds on the other, which a separate assertion pins
+(monotone within each trace, zero-cost in sim ordering semantics).
+
+Everything here is marked ``realtime`` (excluded from tier-1 by
+``addopts``; CI runs it in the timeout-guarded realtime job).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+import pytest
+
+from repro.datatypes import KVStore
+from repro.runtime.launcher import RealtimeCluster
+from repro.runtime.serve import ClusterSpec
+from repro.scenario import Scenario
+
+pytestmark = pytest.mark.realtime
+
+#: The scripted workload, all invoked at replica 0: dots are d0.1..d0.N
+#: on both substrates, so traces line up by construction.
+OPS = [
+    (KVStore.put("alpha", "1"), False),
+    (KVStore.put("beta", "2"), True),
+    (KVStore.get("alpha"), False),
+    (KVStore.remove("beta"), False),
+]
+
+Edge = Tuple[str, str, Any]
+
+
+def _edges(spans: List[Dict[str, Any]]) -> Dict[str, Set[Edge]]:
+    """trace id -> the set of (name, span_id, parent_id) edges."""
+    out: Dict[str, Set[Edge]] = {}
+    for span in spans:
+        out.setdefault(span["trace_id"], set()).add(
+            (span["name"], span["span_id"], span.get("parent_id"))
+        )
+    return out
+
+
+def _sim_edges() -> Dict[str, Set[Edge]]:
+    scenario = (
+        Scenario(KVStore(), name="obs-rt-sim").replicas(3).telemetry(True)
+    )
+    for index, (op, strong) in enumerate(OPS):
+        scenario.invoke(
+            float(index + 1), 0, op, strong=strong, label=f"op{index}"
+        )
+    result = scenario.run(well_formed=False)
+    assert all(future.stable for future in result.futures.values())
+    return _edges(result.telemetry.spans_jsonable())
+
+
+def _realtime_telemetry() -> Dict[str, Any]:
+    spec = ClusterSpec(n_replicas=3, telemetry=True)
+    with RealtimeCluster(spec) as cluster:
+        for op, strong in OPS:
+            reply = cluster.invoke(0, op, strong=strong, wait="stable")
+            assert reply["stable"]
+        cluster.await_convergence(expect_committed=len(OPS))
+        return cluster.client(0).call("telemetry")
+
+
+@pytest.mark.timeout(120)
+def test_realtime_run_records_same_span_structure_as_sim():
+    sim = _sim_edges()
+    plane = _realtime_telemetry()
+    assert plane["enabled"]
+    real = _edges(plane["spans"])
+
+    for index in range(len(OPS)):
+        trace = f"d0.{index + 1}"
+        assert trace in sim, f"sim lost {trace}"
+        assert trace in real, f"realtime lost {trace}"
+        assert real[trace] == sim[trace], (
+            f"{trace}: structure diverged\n"
+            f"  sim only: {sorted(sim[trace] - real[trace])}\n"
+            f"  realtime only: {sorted(real[trace] - sim[trace])}"
+        )
+
+    # The realtime clock is wall seconds, but causality still orders it:
+    # within each op trace the root is the earliest span and stability the
+    # latest, and nothing precedes time zero.
+    for index in range(len(OPS)):
+        trace = f"d0.{index + 1}"
+        spans = [s for s in plane["spans"] if s["trace_id"] == trace]
+        times = {s["span_id"]: s["time"] for s in spans}
+        assert all(time >= 0.0 for time in times.values())
+        assert times["root"] == min(times.values())
+        assert (
+            times["root"]
+            <= times["tob.cast"]
+            <= times["tob.deliver"]
+            <= times["commit"]
+            <= times["stable"]
+        )
+
+    # The transport metrics crossed the wire too: the origin replica both
+    # sent and received frames, visible in the RPC'd registry snapshot.
+    counters = plane["metrics"]["counters"]
+    assert any("repro_net_frames_sent" in key for key in counters)
+    assert any("repro_net_frames_received" in key for key in counters)
+    assert any("repro_tob_casts" in key for key in counters)
+    assert any("repro_executions" in key for key in counters)
+
+
+@pytest.mark.timeout(120)
+def test_telemetry_rpc_reports_disabled_when_unarmed():
+    spec = ClusterSpec(n_replicas=1)
+    with RealtimeCluster(spec) as cluster:
+        cluster.invoke(0, KVStore.put("k", "v"), wait="stable")
+        plane = cluster.client(0).call("telemetry")
+    assert plane == {"enabled": False}

@@ -1,0 +1,132 @@
+"""T-digest accuracy: sketch quantiles vs exact quantiles on seeded streams.
+
+The telemetry plane's histograms (:class:`repro.obs.metrics.Histogram`)
+fold every latency/staleness sample into a :class:`repro.obs.tdigest.TDigest`
+instead of keeping the stream. These tests pin the contract that makes that
+substitution honest: on seeded streams from several distributions, the
+sketch's quantile estimates land within a small *rank* error of the exact
+empirical quantiles (rank error is the right yardstick — it is what the
+t-digest bounds, ~1/compression, independent of the value scale), the
+min/max endpoints are exact, and memory stays bounded by the compression
+parameter no matter how many samples stream through.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.obs import TDigest
+
+#: Quantile fractions probed everywhere: sharp tails plus the soft middle.
+FRACTIONS = (0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+def _rank_error(samples, estimate, q):
+    """|empirical rank of the estimate - q| on the exact sorted sample."""
+    ordered = sorted(samples)
+    lo = bisect.bisect_left(ordered, estimate) / len(ordered)
+    hi = bisect.bisect_right(ordered, estimate) / len(ordered)
+    if lo <= q <= hi:  # estimate sits inside a run of ties covering q
+        return 0.0
+    return min(abs(lo - q), abs(hi - q))
+
+
+def _assert_accurate(samples, *, compression=100, tolerance=0.02):
+    digest = TDigest(compression=compression)
+    digest.update(samples)
+    for q in FRACTIONS:
+        err = _rank_error(samples, digest.quantile(q), q)
+        assert err <= tolerance, (
+            f"q={q}: rank error {err:.4f} > {tolerance} "
+            f"(estimate {digest.quantile(q):.6g})"
+        )
+
+
+def test_uniform_stream_accuracy():
+    rng = random.Random(7)
+    _assert_accurate([rng.random() for _ in range(10_000)])
+
+
+def test_gaussian_stream_accuracy():
+    rng = random.Random(11)
+    _assert_accurate([rng.gauss(50.0, 12.0) for _ in range(10_000)])
+
+
+def test_exponential_stream_accuracy():
+    """Heavy right tail — the regime commit latencies actually live in."""
+    rng = random.Random(13)
+    _assert_accurate([rng.expovariate(0.2) for _ in range(10_000)])
+
+
+def test_sorted_ingest_is_no_worse():
+    """Pre-sorted input (monotone sim timestamps) must not degrade."""
+    rng = random.Random(17)
+    samples = sorted(rng.expovariate(1.0) for _ in range(5_000))
+    _assert_accurate(samples)
+
+
+def test_extreme_quantiles_are_exact_endpoints():
+    rng = random.Random(19)
+    samples = [rng.random() * 100 for _ in range(2_000)]
+    digest = TDigest()
+    digest.update(samples)
+    assert digest.minimum == min(samples)
+    assert digest.maximum == max(samples)
+    assert digest.quantile(0.0) == min(samples)
+    assert digest.quantile(1.0) == max(samples)
+
+
+def test_memory_stays_bounded():
+    rng = random.Random(23)
+    digest = TDigest(compression=50)
+    digest.update(rng.random() for _ in range(30_000))
+    assert digest.count == 30_000
+    # The asin scale function bounds the merged centroid list by O(δ);
+    # 2δ is a loose ceiling that a leak would blow through immediately.
+    assert digest.n_centroids <= 2 * 50
+
+
+def test_weighted_points_shift_rank():
+    digest = TDigest()
+    digest.add(0.0, weight=9.0)
+    digest.add(100.0)
+    assert digest.count == 10
+    assert digest.quantile(0.05) == 0.0
+    assert digest.quantile(0.5) < 50.0  # 9/10 of the mass sits at zero
+    assert digest.maximum == 100.0
+
+
+def test_empty_and_singleton_digests():
+    empty = TDigest()
+    assert empty.count == 0
+    assert len(empty) == 0
+    assert empty.quantile(0.5) == 0.0
+    assert empty.minimum == 0.0 and empty.maximum == 0.0
+
+    single = TDigest()
+    single.add(42.0)
+    for q in (0.0, 0.37, 1.0):
+        assert single.quantile(q) == 42.0
+
+
+def test_percentiles_helper_matches_quantile():
+    digest = TDigest()
+    digest.update(float(i) for i in range(1, 101))
+    assert digest.percentiles(0.1, 0.9) == (
+        digest.quantile(0.1),
+        digest.quantile(0.9),
+    )
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        TDigest(compression=5)
+    digest = TDigest()
+    digest.add(1.0)
+    with pytest.raises(ValueError):
+        digest.quantile(1.5)
+    with pytest.raises(ValueError):
+        digest.quantile(-0.1)

@@ -31,6 +31,7 @@ from repro.runtime.wire import (
     decode_body,
     encode_frame,
 )
+from repro.obs.context import TraceContext
 from repro.shard.migration import Reassignment
 
 # ---------------------------------------------------------------------------
@@ -168,6 +169,7 @@ def test_garbage_body_rejected():
 #: coverage assertion below — extend this table when adding a codec.
 CODEC_EXAMPLES = {
     "~reassign": Reassignment("split", 0, 1, (3, "k")),
+    "~trace": TraceContext("d0.3", "tob.cast", "root"),
 }
 
 

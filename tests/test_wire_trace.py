@@ -1,0 +1,188 @@
+"""Trace contexts across the wire: stamped frames, bare frames, old frames.
+
+The causal tracing pillar only works end-to-end if the active
+:class:`~repro.obs.context.TraceContext` survives the trip between
+processes. Three layers are pinned here:
+
+- **codec** — ``TraceContext`` round-trips through the durability codec
+  and length-prefixed framing under hypothesis-generated contents,
+  including the worst-case one-byte-per-read TCP chunking;
+- **frame compat** — message frames *without* a ``trace`` field (what
+  every pre-telemetry peer sends) decode unchanged, and a frame stamped
+  with ``trace: None`` is indistinguishable from one never stamped — the
+  wire format is backward- and forward-compatible;
+- **runtime** — :class:`~repro.runtime.asyncio_net.AsyncioRuntime`
+  restores the sender's context around delivery, for loopback sends and
+  for real localhost TCP alike, and drops back to no-context after.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Telemetry, TraceContext
+from repro.runtime.asyncio_net import AsyncioRuntime
+from repro.runtime.wire import FrameDecoder, encode_frame
+from repro.sim.process import Process
+
+# ---------------------------------------------------------------------------
+# Codec round trips
+# ---------------------------------------------------------------------------
+
+span_names = st.sampled_from(
+    ["root", "submit", "tob.cast", "tob.deliver", "commit", "stable", "route"]
+)
+
+contexts = st.builds(
+    TraceContext,
+    st.text(min_size=1, max_size=16),          # trace_id
+    span_names,                                 # span_id
+    st.one_of(st.none(), span_names),           # parent_id (root spans: None)
+)
+
+
+@settings(max_examples=100)
+@given(contexts)
+def test_trace_context_round_trips_through_frames(context):
+    assert FrameDecoder().feed(encode_frame(context)) == [context]
+
+
+@settings(max_examples=50)
+@given(contexts)
+def test_stamped_message_frame_round_trips_byte_by_byte(context):
+    """The exact frame shape AsyncioRuntime sends, worst-case chunked."""
+    message = {
+        "kind": "msg",
+        "sender": 2,
+        "payload": ("tag", ["some", "payload"]),
+        "trace": context,
+    }
+    frame = encode_frame(message)
+    decoder = FrameDecoder()
+    decoded = []
+    for index in range(len(frame)):
+        decoded.extend(decoder.feed(frame[index : index + 1]))
+    assert decoded == [message]
+    restored = decoded[0]["trace"]
+    assert isinstance(restored, TraceContext)
+    assert restored == context
+
+
+# ---------------------------------------------------------------------------
+# Frame compatibility: absent trace field
+# ---------------------------------------------------------------------------
+
+
+def test_pre_telemetry_frame_decodes_unchanged():
+    """Frames from peers that never heard of tracing still decode."""
+    old = {"kind": "msg", "sender": 0, "payload": ("tag", "hello")}
+    [decoded] = FrameDecoder().feed(encode_frame(old))
+    assert decoded == old
+    assert decoded.get("trace") is None  # what _dispatch hands the deliverer
+
+
+def test_unstamped_send_emits_no_trace_field():
+    """A runtime with no active context must not bloat the frame."""
+
+    async def scenario():
+        first = AsyncioRuntime(0, {0: ("127.0.0.1", 0), 1: ("127.0.0.1", 0)})
+        await first.start()
+        peers = {0: ("127.0.0.1", first.bound_port), 1: ("127.0.0.1", 0)}
+        second = AsyncioRuntime(1, peers)
+        await second.start()
+        first.peers[1] = ("127.0.0.1", second.bound_port)
+
+        seen = asyncio.Queue()
+
+        class Probe(Process):
+            def on_message(self, sender, message):
+                seen.put_nowait(message)
+
+        second.register(Probe(second, 1))
+        first.send(0, 1, "bare")
+        assert await asyncio.wait_for(seen.get(), 5) == "bare"
+        await first.stop()
+        await second.stop()
+        return True
+
+    assert asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Runtime propagation: loopback and real TCP
+# ---------------------------------------------------------------------------
+
+
+def test_loopback_send_restores_context_at_delivery():
+    async def scenario():
+        telemetry = Telemetry()
+        runtime = AsyncioRuntime(
+            0, {0: ("127.0.0.1", 0)}, telemetry=telemetry
+        )
+        observed = []
+
+        class Probe(Process):
+            def on_message(self, sender, message):
+                observed.append(telemetry.current)
+
+        runtime.register(Probe(runtime, 0))
+        context = TraceContext("d0.1", "tob.cast", "root")
+        with telemetry.using(context):
+            runtime.send(0, 0, "self")
+        assert telemetry.current is None  # context does not leak the sender
+        await asyncio.sleep(0)
+        assert observed == [context]
+        assert telemetry.current is None  # ...nor outlive the delivery
+        return True
+
+    assert asyncio.run(scenario())
+
+
+def test_tcp_send_restores_context_at_remote_delivery():
+    async def scenario():
+        tel_a = Telemetry()
+        tel_b = Telemetry()
+        first = AsyncioRuntime(
+            0, {0: ("127.0.0.1", 0), 1: ("127.0.0.1", 0)}, telemetry=tel_a
+        )
+        await first.start()
+        peers = {0: ("127.0.0.1", first.bound_port), 1: ("127.0.0.1", 0)}
+        second = AsyncioRuntime(1, peers, telemetry=tel_b)
+        await second.start()
+        first.peers[1] = ("127.0.0.1", second.bound_port)
+
+        arrived = asyncio.Queue()
+
+        class Probe(Process):
+            def on_message(self, sender, message):
+                arrived.put_nowait((message, tel_b.current))
+
+        second.register(Probe(second, 1))
+
+        context = TraceContext("d0.7", "tob.cast", "root")
+        with tel_a.using(context):
+            first.send(0, 1, "traced")
+        first.send(0, 1, "untraced")
+
+        message, seen = await asyncio.wait_for(arrived.get(), 5)
+        assert (message, seen) == ("traced", context)
+        message, seen = await asyncio.wait_for(arrived.get(), 5)
+        assert (message, seen) == ("untraced", None)
+        assert tel_b.current is None
+
+        # The transport metrics moved with the frames.
+        assert tel_a.registry.counter(
+            "repro_net_frames_sent", pid=0
+        ).value == 2
+        assert tel_b.registry.counter(
+            "repro_net_frames_received", pid=1
+        ).value == 2
+
+        await first.stop()
+        await second.stop()
+        return True
+
+    assert asyncio.run(scenario())
