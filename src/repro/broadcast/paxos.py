@@ -1,40 +1,83 @@
-"""Multi-Paxos Total Order Broadcast.
+"""Batched, pipelined Multi-Paxos Total Order Broadcast.
 
-A faithful quorum-based TOB engine, as footnoted in Section 2.3 of the
-paper: "TOB ... can be implemented in a non-blocking fashion through e.g.,
-quorum-based protocols such as Paxos". Every node plays all three roles:
+A quorum-based TOB engine, as footnoted in Section 2.3 of the paper: "TOB
+... can be implemented in a non-blocking fashion through e.g., quorum-based
+protocols such as Paxos". Every node plays all three roles:
 
-- **proposer**: the node currently trusted as leader by Ω assigns pending
-  client payloads to consecutive consensus instances;
+- **proposer**: the node currently trusted as leader by Ω drains pending
+  client payloads into consecutive consensus instances;
 - **acceptor**: classic promised/accepted single-decree state per instance;
 - **learner**: decided instances are delivered in instance order.
 
-Key design points
-------------------
-- Ballots are ``(round, pid)`` pairs; a new leader picks a round higher than
-  any it has seen and runs a single *global* phase 1 covering all instances
-  from its first undecided one (standard Multi-Paxos).
-- Gaps left by a deposed leader are filled with ``NOOP`` values which
-  learners skip, preserving total order without blocking.
-- Payloads are deduplicated by ``key``: a key is assigned to at most one
-  instance (re-submissions after retransmission are absorbed), giving the
-  at-most-once ordering the paper's TOB contract needs.
-- A self-rearming *drive* timer retransmits unfinished work and anti-entropy
-  status messages; it stays quiet when there is nothing to do, so stable
-  runs quiesce naturally once all submissions are decided and delivered.
-- Liveness requires a majority of responsive acceptors and an eventually
-  accurate Ω — i.e. the paper's *stable runs*. Under a lasting partition a
-  minority component keeps retrying without ever deciding: the paper's
-  *asynchronous runs*, in which strong operations block.
+The seed engine paid one full consensus round (and ~3n messages) per
+operation. This engine amortizes and overlaps that cost while keeping the
+delivered history bit-identical for any seeded schedule:
+
+- **Batching** — the leader drains its submission queue into a single
+  instance whose value is a :class:`Batch` of ``(key, payload)`` entries
+  (up to ``max_batch``), delivered in order within the batch. A zero-delay
+  *flush* timer coalesces same-instant submissions, so light-load latency
+  is unchanged (a lone submission still proposes at its arrival time).
+- **Proactive prepares** — a stable leader holds its phase-1 quorum over an
+  open-ended instance window (the seed did this too), and additionally
+  asserts leadership the moment Ω trusts it — at startup via a zero-delay
+  kick and on demand via :meth:`prewarm` — instead of waiting a full drive
+  interval. Steady-state values skip 1A/1B and go straight to 2A;
+  re-prepare happens only on leader change or NACK.
+- **Slim 1B payloads** — acceptors prune per-instance state below their
+  delivery frontier and report that frontier as a *decided watermark* in
+  1B, so a new leader receives only live accepted suffixes instead of full
+  instance maps. The leader never NOOP-fills below a reported watermark
+  (those instances are decided elsewhere; it fetches them via catch-up),
+  and acceptors answer 2A for an instance they know decided with a repair
+  instead of a vote.
+- **Pipelining with dual 2B multicast** — up to ``max_inflight`` instances
+  may have outstanding 2A rounds; acceptors multicast 2B to *everyone*
+  (learners and proposer alike), each node counts votes and learns
+  decisions locally one message delay earlier, and the separate decide
+  broadcast disappears. ``dual_2b=False`` restores the seed's unicast-2B +
+  decide-broadcast pattern.
+- **Rate-limited batched catch-up** — a lagging node asks one rotating peer
+  for its missing decided suffix; responders coalesce the suffix into a
+  single repair message but token-bucket the instances they ship
+  (``catchup_rate``/``catchup_burst``, at most ``catchup_batch`` per
+  response), so a recovering replica cannot storm the cluster. Gap NOOPs
+  proposed by a new leader are likewise capped (``max_gap`` concurrent).
+
+``max_batch=1, max_inflight=None, dual_2b=False`` reproduces the seed
+engine's message pattern exactly; the delivered sequence is identical in
+either mode because both drain the same FIFO submission queue at the same
+leader.
+
+Liveness requires a majority of responsive acceptors and an eventually
+accurate Ω — i.e. the paper's *stable runs*. Under a lasting partition a
+minority component keeps retrying without ever deciding: the paper's
+*asynchronous runs*, in which strong operations block.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Deque,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.broadcast.failure_detector import OmegaFailureDetector
-from repro.broadcast.total_order import DeliverFn, TotalOrderBroadcast
+from repro.broadcast.total_order import (
+    DeliverBatchFn,
+    DeliverFn,
+    TotalOrderBroadcast,
+)
+from repro.core.durability import register_codec
 from repro.net.node import RoutingNode
 from repro.sim.trace import TraceLog
 
@@ -49,27 +92,79 @@ Ballot = Tuple[int, int]
 NOOP = ("__paxos_noop__", None)
 
 
+@dataclass(frozen=True)
+class Batch:
+    """One instance's value: an ordered run of ``(key, payload)`` entries.
+
+    Deciding a batch decides every entry, in list order — the unit of
+    consensus amortization. Old durable logs hold bare ``(key, payload)``
+    pairs; :func:`as_value` wraps them into singleton batches on replay.
+    """
+
+    entries: Tuple[Tuple[Hashable, Any], ...]
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        return tuple(key for key, _ in self.entries)
+
+
+# Batched values cross both durable logs and (on the real-socket backend)
+# wire frames; one codec registration covers both paths.
+register_codec(
+    "~paxb",
+    Batch,
+    lambda b: list(b.entries),
+    lambda entries: Batch(tuple(entries)),
+)
+
+
+def as_value(raw: Any) -> Any:
+    """Normalise a logged/replayed instance value to ``Batch`` | ``NOOP``.
+
+    Pre-batching logs recorded one bare ``(key, payload)`` pair per decided
+    instance; mixed logs (old prefix, batched suffix) therefore replay
+    through here record by record.
+    """
+    if raw is None or isinstance(raw, Batch):
+        return raw
+    pair = tuple(raw)
+    if pair == NOOP:
+        return NOOP
+    return Batch((pair,))
+
+
+def value_keys(value: Any) -> Tuple[Hashable, ...]:
+    """The client keys carried by an instance value (none for NOOP)."""
+    if isinstance(value, Batch):
+        return value.keys()
+    return ()
+
+
 @dataclass
 class AcceptorInstance:
     """Single-decree acceptor state for one consensus instance."""
 
     promised: Ballot = (-1, -1)
     accepted_ballot: Optional[Ballot] = None
-    accepted_value: Optional[Tuple[Hashable, Any]] = None
+    accepted_value: Optional[Any] = None
 
 
 @dataclass
 class ProposerInstance:
-    """Leader-side bookkeeping for one in-flight instance."""
+    """Leader-side bookkeeping for one in-flight instance.
+
+    ``decided`` is only used in classic (non-dual-2B) mode, marking the
+    window between the majority ack and the decide broadcast arriving back;
+    dual-2B proposals are popped outright when the vote tally decides.
+    """
 
     ballot: Ballot
-    value: Tuple[Hashable, Any]
+    value: Any
     acks: Set[int] = field(default_factory=set)
     decided: bool = False
 
 
 class PaxosTOB(TotalOrderBroadcast):
-    """Per-node endpoint of Multi-Paxos total order broadcast."""
+    """Per-node endpoint of batched, pipelined Multi-Paxos TOB."""
 
     def __init__(
         self,
@@ -78,6 +173,14 @@ class PaxosTOB(TotalOrderBroadcast):
         omega: OmegaFailureDetector,
         *,
         retry_interval: float = 15.0,
+        max_batch: int = 32,
+        max_inflight: Optional[int] = 8,
+        dual_2b: bool = True,
+        max_gap: Optional[int] = None,
+        catchup_batch: int = 64,
+        catchup_rate: float = 32.0,
+        catchup_burst: float = 64.0,
+        deliver_batch: Optional[DeliverBatchFn] = None,
         trace: Optional[TraceLog] = None,
         store: Optional["DurableStore"] = None,
         tag: str = _TAG,
@@ -85,8 +188,16 @@ class PaxosTOB(TotalOrderBroadcast):
     ) -> None:
         self.node = node
         self._deliver = deliver
+        self._deliver_batch = deliver_batch
         self.omega = omega
         self.retry_interval = retry_interval
+        self.max_batch = max(1, max_batch)
+        self.max_inflight = max_inflight
+        self.dual_2b = dual_2b
+        self.max_gap = max_gap if max_gap is not None else max_inflight
+        self.catchup_batch = max(1, catchup_batch)
+        self.catchup_rate = catchup_rate
+        self.catchup_burst = catchup_burst
         self.trace = trace
         self.telemetry = telemetry
         if telemetry is not None:
@@ -94,43 +205,65 @@ class PaxosTOB(TotalOrderBroadcast):
             self._m_delivers = telemetry.counter(
                 "repro_tob_delivers", engine="paxos"
             )
+            self._m_batch = telemetry.histogram("repro_paxos_batch_size")
+            self._m_rounds = telemetry.histogram("repro_paxos_rounds_per_op")
+            self._m_inflight = telemetry.gauge("repro_paxos_inflight")
         self.store = store
         self.tag = tag
         self.n = node.n_processes
         self.majority = self.n // 2 + 1
 
-        # Client-facing submission state.
+        # Client-facing submission state. ``_pending`` holds every key
+        # awaiting a decision (for retransmission); ``_queue`` is the
+        # leader-side FIFO of keys not yet inside an in-flight proposal —
+        # its drain order *is* the delivered order, which is why batched
+        # and seed-mode histories are bit-identical.
         self._pending: Dict[Hashable, Any] = {}
+        self._queue: Deque[Hashable] = deque()
+        self._inflight_keys: Set[Hashable] = set()
         self._known_keys: Set[Hashable] = set()
 
         # Acceptor state. ``_baseline_promise`` is the promise that applies
         # to instances for which no explicit state exists yet (a global
-        # phase 1 covers all instances from some point on).
+        # phase 1 covers all instances from some point on). Entries below
+        # the delivery frontier are pruned — the slim-1B invariant.
         self._acceptor: Dict[int, AcceptorInstance] = {}
         self._baseline_promise: Ballot = (-1, -1)
         self._max_round_seen = 0
 
-        # Leader state.
+        # Leader state. ``_proposals`` holds only undecided instances.
         self._is_leader = False
         self._ballot: Optional[Ballot] = None
         self._phase1_acks: Dict[int, Dict[int, Tuple[Optional[Ballot], Any]]] = {}
         self._phase1_from: Set[int] = set()
         self._phase1_complete = False
         self._phase1_first_instance = 0
+        #: Highest decided watermark reported by the phase-1 quorum: every
+        #: instance below it is decided somewhere; never NOOP-fill there.
+        self._floor = 0
         self._proposals: Dict[int, ProposerInstance] = {}
         self._next_instance = 0
 
         # Learner state. A key can be decided in two instances when
         # leadership churns mid-proposal; learners deliver it only once
         # (standard duplicate-command handling in Multi-Paxos SMR).
-        self._decided: Dict[int, Tuple[Hashable, Any]] = {}
+        # ``_votes`` is the dual-2B tally: instance → ballot → voters.
+        self._decided: Dict[int, Any] = {}
+        self._decided_keys: Set[Hashable] = set()
+        self._votes: Dict[int, Dict[Ballot, Set[int]]] = {}
         self._next_deliver = 0
         self._delivered: List[Hashable] = []
         self._delivered_keys: Set[Hashable] = set()
 
+        # Catch-up responder token bucket and requester rotation.
+        self._bucket = float(catchup_burst)
+        self._bucket_stamp = node.now
+        self._catchup_peer = node.pid
+
         self._stopped = False
         self._drive_armed = False
         self._drive_timer = None
+        self._flush_armed = False
 
         node.register_component(tag, self._on_message)
         node.register_crash_hooks(on_recover=self._on_node_recover)
@@ -139,6 +272,11 @@ class PaxosTOB(TotalOrderBroadcast):
             store.get(f"{tag}.meta") is not None or len(store.log(f"{tag}.decided"))
         ):
             self._reload()
+        # Proactive prepare: Ω computes its initial leader before this
+        # engine hooks the change callback, so without this kick the first
+        # leader would only assert itself a full retry_interval after work
+        # arrived (the dominant term of the E13 migration dip).
+        node.set_timer(0.0, self._startup_kick, label="paxos.prewarm")
 
     # ------------------------------------------------------------------
     # Public API
@@ -153,6 +291,7 @@ class PaxosTOB(TotalOrderBroadcast):
             return
         self._known_keys.add(key)
         self._pending[key] = payload
+        self._queue.append(key)
         if self.telemetry:
             self._m_casts.inc()
             if isinstance(key, tuple):
@@ -162,8 +301,18 @@ class PaxosTOB(TotalOrderBroadcast):
                 )
         if self.trace is not None:
             self.trace.record(self.node.now, self.node.pid, "paxos.cast", key=key)
-        self._forward_pending()
+        leader = self.omega.leader()
+        if leader == self.node.pid:
+            self._arm_flush()
+        else:
+            self.node.send_component(leader, self.tag, ("submit", key, payload))
         self._ensure_driving()
+
+    def prewarm(self) -> None:
+        """Run phase 1 now if Ω trusts this node — ahead of any traffic."""
+        if self._stopped or self.node.crashed:
+            return
+        self._maybe_lead()
 
     def stop(self) -> None:
         """Stop the drive timer (the hosting harness also stops Ω)."""
@@ -172,6 +321,15 @@ class PaxosTOB(TotalOrderBroadcast):
     # ------------------------------------------------------------------
     # Leadership
     # ------------------------------------------------------------------
+    def _startup_kick(self) -> None:
+        if self._stopped or self.node.crashed:
+            return
+        self._maybe_lead()
+
+    def _maybe_lead(self) -> None:
+        if not self._is_leader and self.omega.leader() == self.node.pid:
+            self._become_leader()
+
     def _on_leader_change(self, leader: int) -> None:
         if leader == self.node.pid:
             self._become_leader()
@@ -185,6 +343,11 @@ class PaxosTOB(TotalOrderBroadcast):
         self._phase1_acks = {}
         self._phase1_from = set()
         self._proposals = {}
+        self._floor = self._next_deliver
+        self._inflight_keys = set()
+        self._queue = deque(
+            key for key in self._pending if key not in self._decided_keys
+        )
         round_number = self._max_round_seen + 1
         self._max_round_seen = round_number
         self._persist_meta()  # a recovered leader must never reuse a ballot
@@ -265,7 +428,11 @@ class PaxosTOB(TotalOrderBroadcast):
                 sender, self.tag, ("nack", ballot, highest_promise)
             )
             return
-        accepted: Dict[int, Tuple[Ballot, Tuple[Hashable, Any]]] = {}
+        # Slim 1B: report only the live accepted suffix (state below our
+        # delivery frontier was pruned at delivery) plus the frontier
+        # itself as a decided watermark; repair the proposer's missing
+        # decided prefix separately instead of replaying it through 1B.
+        accepted: Dict[int, Tuple[Ballot, Any]] = {}
         touched = []
         for instance, state in self._acceptor.items():
             if instance < first_instance:
@@ -276,7 +443,11 @@ class PaxosTOB(TotalOrderBroadcast):
                 accepted[instance] = (state.accepted_ballot, state.accepted_value)
         self._baseline_promise = ballot
         self._persist_acceptor(touched)
-        self.node.send_component(sender, self.tag, ("p1b", ballot, accepted))
+        self.node.send_component(
+            sender, self.tag, ("p1b", ballot, accepted, self._next_deliver)
+        )
+        if first_instance < self._next_deliver:
+            self._send_repairs(sender, first_instance)
 
     def _acceptor_state(self, instance: int) -> AcceptorInstance:
         state = self._acceptor.get(instance)
@@ -288,13 +459,29 @@ class PaxosTOB(TotalOrderBroadcast):
     def _handle_p2a(self, sender: int, args: Tuple) -> None:
         ballot, instance, value = args
         self._max_round_seen = max(self._max_round_seen, ballot[0])
+        if instance in self._decided:
+            # Known decided (and possibly pruned): vote would be useless or
+            # unsafe to synthesize — answer with the decision itself.
+            self.node.send_component(
+                sender, self.tag, ("repair", {instance: self._decided[instance]})
+            )
+            return
         state = self._acceptor_state(instance)
         if ballot >= state.promised:
             state.promised = ballot
             state.accepted_ballot = ballot
             state.accepted_value = value
             self._persist_acceptor([instance])
-            self.node.send_component(sender, self.tag, ("p2b", ballot, instance))
+            if self.dual_2b:
+                # Dual 2B multicast: learners and proposer alike count the
+                # votes, so decisions land one message delay earlier and
+                # the decide broadcast disappears.
+                self.node.broadcast_component(
+                    self.tag, ("p2b", ballot, instance), include_self=True
+                )
+                self._tally_vote(instance, ballot, self.node.pid)
+            else:
+                self.node.send_component(sender, self.tag, ("p2b", ballot, instance))
         else:
             self.node.send_component(
                 sender, self.tag, ("nack", ballot, state.promised)
@@ -318,10 +505,11 @@ class PaxosTOB(TotalOrderBroadcast):
 
     # --- proposer ------------------------------------------------------
     def _handle_p1b(self, sender: int, args: Tuple) -> None:
-        ballot, accepted = args
+        ballot, accepted, watermark = args
         if not self._is_leader or ballot != self._ballot or self._phase1_complete:
             return
         self._phase1_from.add(sender)
+        self._floor = max(self._floor, watermark)
         for instance, (acc_ballot, acc_value) in accepted.items():
             per_instance = self._phase1_acks.setdefault(instance, {})
             per_instance[sender] = (acc_ballot, acc_value)
@@ -330,50 +518,67 @@ class PaxosTOB(TotalOrderBroadcast):
 
     def _complete_phase1(self) -> None:
         self._phase1_complete = True
-        # Re-propose the highest-ballot accepted value per reported instance;
-        # fill holes with NOOP so the log stays contiguous.
-        reported = [i for i in self._phase1_acks if i >= self._phase1_first_instance]
-        max_reported = max(reported) if reported else self._phase1_first_instance - 1
-        self._next_instance = max(self._next_instance, self._phase1_first_instance)
-        for instance in range(self._phase1_first_instance, max_reported + 1):
+        # Re-propose the highest-ballot accepted value per reported
+        # instance at or above the quorum's decided watermark; instances
+        # below it are decided elsewhere and arrive via catch-up, never by
+        # re-proposal (the slim-1B safety rule).
+        reported = [i for i in self._phase1_acks if i >= self._floor]
+        max_reported = max(reported) if reported else self._floor - 1
+        self._next_instance = max(self._next_instance, self._floor)
+        for instance in sorted(reported):
             if instance in self._decided:
                 continue
-            votes = self._phase1_acks.get(instance, {})
-            if votes:
-                _, value = max(votes.values(), key=lambda v: v[0])
-            else:
-                value = NOOP
+            votes = self._phase1_acks[instance]
+            _, value = max(votes.values(), key=lambda v: v[0])
             self._propose(instance, value)
         self._next_instance = max(self._next_instance, max_reported + 1)
-        self._assign_pending()
+        if self._next_deliver < self._floor:
+            self._request_catchup()
+        self._fill_gaps()
+        self._drain_pending()
 
-    def _propose(self, instance: int, value: Tuple[Hashable, Any]) -> None:
+    def _inflight(self) -> int:
+        return sum(1 for p in self._proposals.values() if not p.decided)
+
+    def _propose(self, instance: int, value: Any) -> None:
         assert self._ballot is not None
         self._proposals[instance] = ProposerInstance(ballot=self._ballot, value=value)
+        if self.telemetry:
+            if isinstance(value, Batch):
+                self._m_batch.observe(len(value.entries))
+            self._m_inflight.set(self._inflight())
         self.node.broadcast_component(
             self.tag, ("p2a", self._ballot, instance, value), include_self=True
         )
 
-    def _assign_pending(self) -> None:
-        """Assign not-yet-proposed pending keys to fresh instances."""
+    def _drain_pending(self) -> None:
+        """Drain queued keys into batched proposals, up to the pipeline cap.
+
+        FIFO drain order is the total order: every entry is appended in
+        submission-arrival order regardless of ``max_batch``/``max_inflight``,
+        so any knob setting yields the same delivered sequence.
+        """
         if not (self._is_leader and self._phase1_complete):
             return
-        in_flight = {
-            proposal.value[0]
-            for proposal in self._proposals.values()
-            if not proposal.decided
-        }
-        decided_keys = {key for key, _ in self._decided.values()}
-        for key in list(self._pending):
-            if key in decided_keys:
-                del self._pending[key]
-                continue
-            if key in in_flight:
-                continue
+        while self._queue and (
+            self.max_inflight is None or self._inflight() < self.max_inflight
+        ):
+            entries: List[Tuple[Hashable, Any]] = []
+            while self._queue and len(entries) < self.max_batch:
+                key = self._queue.popleft()
+                if (
+                    key not in self._pending
+                    or key in self._inflight_keys
+                    or key in self._decided_keys
+                ):
+                    continue
+                entries.append((key, self._pending[key]))
+                self._inflight_keys.add(key)
+            if not entries:
+                break
             instance = self._next_instance
             self._next_instance += 1
-            self._propose(instance, (key, self._pending[key]))
-            in_flight.add(key)
+            self._propose(instance, Batch(tuple(entries)))
 
     def _fill_gaps(self) -> None:
         """Propose NOOP for undecided instances below the decided frontier.
@@ -383,19 +588,70 @@ class PaxosTOB(TotalOrderBroadcast):
         leader plugs them so delivery can progress. Phase-1-discovered
         accepted values, if any, were already re-proposed, so NOOP here can
         never overwrite a possibly-chosen value: an instance with a chosen
-        value has it accepted at a majority, which phase 1 must intersect.
+        value has it accepted at a majority, which phase 1 must intersect —
+        and instances below the quorum watermark (``_floor``), where
+        acceptors may have pruned their evidence, are never filled at all;
+        they are fetched via catch-up. At most ``max_gap`` NOOPs are in
+        flight at once (the drive re-arms until every hole is plugged), so
+        a leader change over a long gap cannot storm the cluster.
         """
         assert self._is_leader and self._phase1_complete
         if not self._decided:
             return
         frontier = max(self._decided)
-        for instance in range(self._next_deliver, frontier):
+        budget = None
+        if self.max_gap is not None:
+            gaps_inflight = sum(
+                1 for p in self._proposals.values() if p.value == NOOP
+            )
+            budget = self.max_gap - gaps_inflight
+            if budget <= 0:
+                return
+        for instance in range(max(self._next_deliver, self._floor), frontier):
             if instance in self._decided or instance in self._proposals:
                 continue
             self._propose(instance, NOOP)
+            if budget is not None:
+                budget -= 1
+                if budget <= 0:
+                    return
+
+    def _tally_vote(self, instance: int, ballot: Ballot, voter: int) -> None:
+        if instance in self._decided:
+            return
+        votes = self._votes.setdefault(instance, {}).setdefault(ballot, set())
+        votes.add(voter)
+        if len(votes) >= self.majority:
+            self._learn_from_votes(instance, ballot)
+
+    def _learn_from_votes(self, instance: int, ballot: Ballot) -> None:
+        """Dual-2B learning: a majority voted ``ballot`` — find its value.
+
+        The proposer has it in its proposal record; an acceptor that voted
+        has it in its accepted state. A node with neither (its own 2A still
+        in flight) simply waits: the next vote or its own acceptance
+        re-runs the tally, and catch-up repairs any remainder.
+        """
+        value = None
+        proposal = self._proposals.get(instance)
+        if proposal is not None and proposal.ballot == ballot:
+            value = proposal.value
+        else:
+            state = self._acceptor.get(instance)
+            if state is not None and state.accepted_ballot == ballot:
+                value = state.accepted_value
+        if value is None:
+            return
+        self._record_decided(instance, value)
+        self._deliver_ready()
+        self._drain_pending()
+        self._ensure_driving()
 
     def _handle_p2b(self, sender: int, args: Tuple) -> None:
         ballot, instance = args
+        if self.dual_2b:
+            self._tally_vote(instance, ballot, sender)
+            return
         proposal = self._proposals.get(instance)
         if proposal is None or proposal.ballot != ballot or proposal.decided:
             return
@@ -407,12 +663,31 @@ class PaxosTOB(TotalOrderBroadcast):
             )
 
     # --- learner -------------------------------------------------------
-    def _record_decided(self, instance: int, value: Tuple[Hashable, Any]) -> None:
+    def _record_decided(self, instance: int, value: Any) -> None:
         """Learn a decision: in memory, durably, and off the pending queue."""
+        if instance in self._decided:
+            return
         self._decided[instance] = value
         if self.store is not None:
             self.store.log(f"{self.tag}.decided").append((instance, value))
-        self._pending.pop(value[0], None)
+        self._votes.pop(instance, None)
+        proposal = self._proposals.pop(instance, None)
+        if proposal is not None:
+            if self.telemetry and isinstance(value, Batch):
+                self._m_rounds.observe(1.0 / len(value.entries))
+                self._m_inflight.set(self._inflight())
+            if proposal.value != value:
+                # Another leader decided this instance differently; our
+                # entries are not decided — requeue them for a fresh slot.
+                for key in value_keys(proposal.value):
+                    if key in self._inflight_keys:
+                        self._inflight_keys.discard(key)
+                        if key in self._pending and key not in self._decided_keys:
+                            self._queue.append(key)
+        for key in value_keys(value):
+            self._decided_keys.add(key)
+            self._pending.pop(key, None)
+            self._inflight_keys.discard(key)
 
     def _handle_decide(self, sender: int, args: Tuple) -> None:
         instance, value = args
@@ -420,7 +695,7 @@ class PaxosTOB(TotalOrderBroadcast):
             return
         self._record_decided(instance, value)
         self._deliver_ready()
-        self._assign_pending()
+        self._drain_pending()
         self._ensure_driving()
 
     def _deliver_ready(self, *, notify: bool = True) -> None:
@@ -430,81 +705,146 @@ class PaxosTOB(TotalOrderBroadcast):
         the application callback or tracing — the recovery reload path,
         where everything contiguous was already consumed (and durably
         committed) by the hosting replica before the crash.
+
+        Delivery also prunes acceptor state for the consumed instances —
+        the slim-1B invariant that keeps 1B payloads proportional to the
+        live suffix instead of history.
         """
+        ready: List[Tuple[Hashable, Any]] = []
         while self._next_deliver in self._decided:
-            key, payload = self._decided[self._next_deliver]
+            value = self._decided[self._next_deliver]
             instance = self._next_deliver
             self._next_deliver += 1
-            if (key, payload) == NOOP:
-                continue
-            if key in self._delivered_keys:
-                continue  # duplicate decision of a re-proposed key
-            self._delivered_keys.add(key)
-            self._delivered.append(key)
-            if not notify:
-                continue
-            if self.telemetry:
-                self._m_delivers.inc()
-                if isinstance(key, tuple) and key[0] == self.node.pid:
-                    # Origin-only, like the sequencer engine: one delivery
-                    # span per op regardless of cluster size.
-                    self.telemetry.op_span(
+            self._acceptor.pop(instance, None)
+            self._votes.pop(instance, None)
+            if not isinstance(value, Batch):
+                continue  # NOOP gap filler
+            for key, payload in value.entries:
+                if key in self._delivered_keys:
+                    continue  # duplicate decision of a re-proposed key
+                self._delivered_keys.add(key)
+                self._delivered.append(key)
+                if not notify:
+                    continue
+                if self.telemetry:
+                    self._m_delivers.inc()
+                    if isinstance(key, tuple) and key[0] == self.node.pid:
+                        # Origin-only, like the sequencer engine: one
+                        # delivery span per op regardless of cluster size.
+                        self.telemetry.op_span(
+                            self.node.now,
+                            self.node.pid,
+                            "tob.deliver",
+                            key,
+                            "tob.deliver",
+                            "tob.cast",
+                            seqno=instance,
+                        )
+                if self.trace is not None:
+                    self.trace.record(
                         self.node.now,
                         self.node.pid,
                         "tob.deliver",
-                        key,
-                        "tob.deliver",
-                        "tob.cast",
+                        key=key,
                         seqno=instance,
                     )
-            if self.trace is not None:
-                self.trace.record(
-                    self.node.now,
-                    self.node.pid,
-                    "tob.deliver",
-                    key=key,
-                    seqno=instance,
-                )
-            self._deliver(key, payload)
+                ready.append((key, payload))
+        if not ready:
+            return
+        if self._deliver_batch is not None and len(ready) > 1:
+            self._deliver_batch(ready)
+        else:
+            for key, payload in ready:
+                self._deliver(key, payload)
 
-    # --- submissions and anti-entropy ----------------------------------
+    # --- submissions ---------------------------------------------------
     def _handle_submit(self, sender: int, args: Tuple) -> None:
         key, payload = args
-        if key in {k for k, _ in self._decided.values()}:
+        if key in self._decided_keys or key in self._delivered_keys:
             return
         if key not in self._known_keys:
             self._known_keys.add(key)
             self._pending[key] = payload
-        self._assign_pending()
-        self._ensure_driving()
-
-    def _handle_status(self, sender: int, args: Tuple) -> None:
-        (their_next,) = args
-        # Send any decided instances the peer is missing.
-        repairs = {
-            instance: value
-            for instance, value in self._decided.items()
-            if instance >= their_next
-        }
-        if repairs:
-            self.node.send_component(sender, self.tag, ("repair", repairs))
-
-    def _handle_repair(self, sender: int, args: Tuple) -> None:
-        (repairs,) = args
-        for instance, value in repairs.items():
-            if instance not in self._decided:
-                self._record_decided(instance, value)
-        self._deliver_ready()
+            self._queue.append(key)
+        self._arm_flush()
         self._ensure_driving()
 
     def _forward_pending(self) -> None:
         """Send pending submissions to the node currently trusted as leader."""
         leader = self.omega.leader()
+        if leader == self.node.pid:
+            self._arm_flush()
+            return
         for key, payload in self._pending.items():
-            if leader == self.node.pid:
-                self._handle_submit(self.node.pid, (key, payload))
-            else:
-                self.node.send_component(leader, self.tag, ("submit", key, payload))
+            self.node.send_component(leader, self.tag, ("submit", key, payload))
+
+    # --- flush: same-instant submission coalescing ---------------------
+    def _arm_flush(self) -> None:
+        """Drain one simulation event later (still zero simulated delay).
+
+        Every submission that lands at the same instant joins the same
+        drain, so a burst becomes a few full batches instead of a train of
+        singleton proposals — without adding latency for a lone submission.
+        """
+        if self._flush_armed or self._stopped:
+            return
+        self._flush_armed = True
+        self.node.set_timer(0.0, self._flush, label="paxos.flush")
+
+    def _flush(self) -> None:
+        self._flush_armed = False
+        if self._stopped or self.node.crashed:
+            return
+        self._maybe_lead()
+        if self._is_leader and self._phase1_complete:
+            self._drain_pending()
+        self._ensure_driving()
+
+    # --- catch-up: rate-limited batched repair -------------------------
+    def _request_catchup(self) -> None:
+        """Ask one rotating peer for our missing decided suffix."""
+        if self.n <= 1:
+            return
+        peer = (self._catchup_peer + 1) % self.n
+        if peer == self.node.pid:
+            peer = (peer + 1) % self.n
+        self._catchup_peer = peer
+        self.node.send_component(peer, self.tag, ("status", self._next_deliver))
+
+    def _catchup_take(self, want: int) -> int:
+        """Token bucket: how many instances this response may carry."""
+        now = self.node.now
+        elapsed = max(0.0, now - self._bucket_stamp)
+        self._bucket_stamp = now
+        self._bucket = min(
+            self.catchup_burst, self._bucket + elapsed * self.catchup_rate
+        )
+        take = min(want, self.catchup_batch, int(self._bucket))
+        if take > 0:
+            self._bucket -= take
+        return take
+
+    def _send_repairs(self, peer: int, their_next: int) -> None:
+        missing = sorted(i for i in self._decided if i >= their_next)
+        if not missing:
+            return
+        take = self._catchup_take(len(missing))
+        if take <= 0:
+            return
+        repairs = {i: self._decided[i] for i in missing[:take]}
+        self.node.send_component(peer, self.tag, ("repair", repairs))
+
+    def _handle_status(self, sender: int, args: Tuple) -> None:
+        (their_next,) = args
+        self._send_repairs(sender, their_next)
+
+    def _handle_repair(self, sender: int, args: Tuple) -> None:
+        (repairs,) = args
+        for instance in sorted(repairs):
+            self._record_decided(instance, as_value(repairs[instance]))
+        self._deliver_ready()
+        self._drain_pending()
+        self._ensure_driving()
 
     # ------------------------------------------------------------------
     # Drive timer: retransmission + anti-entropy
@@ -512,11 +852,11 @@ class PaxosTOB(TotalOrderBroadcast):
     def _has_work(self) -> bool:
         if self._pending:
             return True
-        if self._is_leader and any(
-            not proposal.decided for proposal in self._proposals.values()
-        ):
+        if self._is_leader and self._proposals:
             return True
         if self._decided and self._next_deliver <= max(self._decided):
+            return True
+        if self._next_deliver < self._floor:
             return True
         return False
 
@@ -533,26 +873,28 @@ class PaxosTOB(TotalOrderBroadcast):
         self._drive_timer = None
         if self._stopped or not self._has_work():
             return
-        if self.omega.leader() == self.node.pid and not self._is_leader:
-            self._become_leader()
+        self._maybe_lead()
         if self._is_leader:
             if not self._phase1_complete:
                 # Phase 1 stalled (lost messages / partition): retry it.
                 self._become_leader()
             else:
-                self._assign_pending()
+                self._drain_pending()
                 self._fill_gaps()
                 for instance, proposal in self._proposals.items():
-                    if not proposal.decided:
-                        self.node.broadcast_component(
-                            self.tag,
-                            ("p2a", proposal.ballot, instance, proposal.value),
-                            include_self=True,
-                        )
+                    if proposal.decided:
+                        continue
+                    self.node.broadcast_component(
+                        self.tag,
+                        ("p2a", proposal.ballot, instance, proposal.value),
+                        include_self=True,
+                    )
         else:
             self._forward_pending()
-        # Anti-entropy: ask peers for decided instances we might be missing.
-        self.node.broadcast_component(self.tag, ("status", self._next_deliver))
+        # Anti-entropy: ask one rotating peer for decided instances we might
+        # be missing (a pending key may have been decided while we were
+        # partitioned; the responder's token bucket bounds the repair).
+        self._request_catchup()
         self._ensure_driving()
 
     # ------------------------------------------------------------------
@@ -565,6 +907,8 @@ class PaxosTOB(TotalOrderBroadcast):
         walking the decided log from instance 0 *without* re-delivering —
         everything contiguous was delivered (and consumed by the hosting
         replica, which persists its own commit log) before the crash.
+        Pre-batching logs (bare ``(key, payload)`` values) replay through
+        :func:`as_value`, so an upgraded node recovers a mixed old/new log.
         """
         meta = self.store.get(f"{self.tag}.meta") or {}
         self._max_round_seen = meta.get("max_round_seen", 0)
@@ -578,17 +922,21 @@ class PaxosTOB(TotalOrderBroadcast):
                 accepted_ballot=(
                     None if accepted_ballot is None else tuple(accepted_ballot)
                 ),
-                accepted_value=accepted_value,
+                accepted_value=as_value(accepted_value),
             )
         self._decided = {
-            instance: value
+            instance: as_value(value)
             for instance, value in self.store.log(f"{self.tag}.decided").records()
         }
+        self._decided_keys = set()
+        for value in self._decided.values():
+            self._decided_keys.update(value_keys(value))
+        self._votes = {}
         self._next_deliver = 0
         self._delivered = []
         self._delivered_keys = set()
         self._deliver_ready(notify=False)
-        self._known_keys = {key for key, _ in self._decided.values()}
+        self._known_keys = set(self._decided_keys)
 
     def _on_node_recover(self) -> None:
         """Reboot: reload stable state, drop the rest, catch up, re-lead.
@@ -604,13 +952,19 @@ class PaxosTOB(TotalOrderBroadcast):
             self._drive_timer.cancel()
         self._drive_timer = None
         self._drive_armed = False
+        self._flush_armed = False
         self._is_leader = False
         self._ballot = None
         self._phase1_acks = {}
         self._phase1_from = set()
         self._phase1_complete = False
+        self._floor = 0
         self._proposals = {}
         self._next_instance = 0
+        self._votes = {}
+        self._inflight_keys = set()
+        self._bucket = float(self.catchup_burst)
+        self._bucket_stamp = self.node.now
         if self.store is not None:
             # Pending submissions are volatile: the hosting replica re-casts
             # its uncommitted requests from its own write-ahead log. Without
@@ -618,15 +972,23 @@ class PaxosTOB(TotalOrderBroadcast):
             # seed semantics), so pending work is kept.
             self._pending = {}
             self._reload()
+        self._queue = deque(
+            key for key in self._pending if key not in self._decided_keys
+        )
         if self._stopped:
             return
         # Catch-up: learn every instance decided during the downtime.
-        self.node.broadcast_component(self.tag, ("status", self._next_deliver))
+        # Every peer is asked (downtime lag is the one place a single
+        # rotating probe would be too slow); responders still token-bucket.
+        for peer in range(self.n):
+            if peer != self.node.pid:
+                self.node.send_component(
+                    peer, self.tag, ("status", self._next_deliver)
+                )
         self.node.set_timer(0.0, self._post_recovery_kick, label="paxos.rekick")
 
     def _post_recovery_kick(self) -> None:
         if self._stopped or self.node.crashed:
             return
-        if self.omega.leader() == self.node.pid and not self._is_leader:
-            self._become_leader()
+        self._maybe_lead()
         self._ensure_driving()

@@ -20,9 +20,15 @@ contract test-suite in ``tests/test_tob_contract.py``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, List, Tuple
 
 DeliverFn = Callable[[Hashable, Any], None]
+
+#: Batch delivery: a contiguous run of ordered ``(key, payload)`` entries
+#: handed over in one call. The contract is strictly *equivalent* to calling
+#: the per-entry :data:`DeliverFn` once per entry in list order — engines may
+#: use it to amortize per-delivery overhead, never to change semantics.
+DeliverBatchFn = Callable[[List[Tuple[Hashable, Any]]], None]
 
 
 class TotalOrderBroadcast:
@@ -35,6 +41,15 @@ class TotalOrderBroadcast:
     def stop(self) -> None:
         """Stop periodic activity (retransmissions, heartbeats)."""
         raise NotImplementedError
+
+    def prewarm(self) -> None:
+        """Establish ordering capacity ahead of traffic, if the engine can.
+
+        A leader-based engine uses this to run its phase-1 election *before*
+        the first submission arrives (a migration prewarms the destination
+        shard's engine while the barrier and transfer are still in flight).
+        Engines with nothing to warm — the sequencer — inherit this no-op.
+        """
 
     @property
     def delivered_sequence(self) -> list:

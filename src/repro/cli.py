@@ -102,6 +102,12 @@ def _run_realtime() -> None:
     realtime.main([])
 
 
+def _run_batch() -> None:
+    from repro.analysis.experiments import batching
+
+    batching.main([])
+
+
 EXPERIMENTS: Dict[str, tuple] = {
     "figure1": ("E1: Figure 1 — temporary operation reordering", _run_figure1),
     "figure2": ("E2: Figure 2 — circular causality", _run_figure2),
@@ -117,6 +123,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "reshard": ("E13: live resharding — split under traffic, dip, conservation", _run_reshard),
     "rebalance": ("E14: autonomous rebalancing — controller vs oracle under a moving hotspot", _run_rebalance),
     "realtime": ("E15: realtime deployment over TCP cross-checked against the sim", _run_realtime),
+    "batch": ("E16: batched pipelined Multi-Paxos — ops per message round across engines", _run_batch),
 }
 
 #: Experiments excluded from ``all``: they spawn real OS processes and bind

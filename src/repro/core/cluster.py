@@ -240,6 +240,14 @@ class BayouCluster:
                     replica.on_tob_deliver,
                     omega,
                     retry_interval=config.paxos_retry_interval,
+                    max_batch=config.paxos_max_batch,
+                    max_inflight=config.paxos_max_inflight,
+                    dual_2b=config.paxos_dual_2b,
+                    max_gap=config.paxos_max_gap,
+                    catchup_batch=config.paxos_catchup_batch,
+                    catchup_rate=config.paxos_catchup_rate,
+                    catchup_burst=config.paxos_catchup_burst,
+                    deliver_batch=replica.on_tob_deliver_batch,
                     trace=self.trace,
                     store=store,
                     telemetry=self._tscope,

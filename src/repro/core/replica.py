@@ -353,6 +353,19 @@ class BayouReplica:
             self.commit_listener(req)
         self._maybe_persist_checkpoint()
 
+    def on_tob_deliver_batch(self, items: Iterable[Tuple[Dot, Req]]) -> None:
+        """Batched TOB delivery: strictly per-entry, in list order.
+
+        The batched Paxos engine hands a contiguous decided run over in one
+        call; commit semantics (head-commit fast path, listeners, stability
+        responses) must be *identical* to one delivery per entry — that is
+        the bit-identical-history contract — so this simply loops. The
+        entries already share one simulation event, which is where the
+        batching win (one event, one timestamp, no per-op messages) lives.
+        """
+        for key, req in items:
+            self.on_tob_deliver(key, req)
+
     # ------------------------------------------------------------------
     # Execution scheduling (lines 35-40)
     # ------------------------------------------------------------------

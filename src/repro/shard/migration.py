@@ -262,6 +262,14 @@ class Migration:
         self._count("started")
         self._barrier_dot = replica.invoke(barrier, strong=True).dot
         self._hook_commit_listeners(source, self._barrier_dot, self._on_barrier)
+        # Pipeline the barrier with the install: prewarm the destination's
+        # TOB (a leader-based engine runs its phase 1 now) so the install
+        # op decides in a single 2A/2B round the moment the transfer lands,
+        # instead of paying an election inside the migration window.
+        destination = self.deployment.shards[self.dst]
+        for dst_replica in destination.replicas:
+            if not dst_replica.node.crashed:
+                dst_replica.tob.prewarm()
         self._watch_endpoints()
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from repro.runtime.wire import (
     decode_body,
     encode_frame,
 )
+from repro.broadcast.paxos import Batch
 from repro.obs.context import TraceContext
 from repro.shard.migration import Reassignment
 
@@ -170,6 +171,10 @@ def test_garbage_body_rejected():
 CODEC_EXAMPLES = {
     "~reassign": Reassignment("split", 0, 1, (3, "k")),
     "~trace": TraceContext("d0.3", "tob.cast", "root"),
+    "~paxb": Batch((
+        ((0, 1), Req(1.0, (0, 1), True, Operation("write", ("k", 1)))),
+        ((1, 1), Req(2.0, (1, 1), True, Operation("write", ("k", 2)))),
+    )),
 }
 
 
